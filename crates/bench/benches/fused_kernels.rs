@@ -1,0 +1,49 @@
+//! Host-side timing of the fused vs step-by-step thread-level executors
+//! (the numeric work behind Fig. 12). The machine-model accounting is
+//! printed by the `fig12_fused_breakdown` binary; this bench measures the
+//! actual host execution of the same kernels, including the planning cost of
+//! secondary slicing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qtn_fused::{execute_fused, execute_step_by_step, plan_secondary_slicing, random_segment};
+use qtn_sunway::CostModel;
+use qtn_tensor::IndexSet;
+
+fn bench_executors(c: &mut Criterion) {
+    let model = CostModel::default();
+    let mut group = c.benchmark_group("thread_level_executors");
+    group.sample_size(10);
+    for start_rank in [12usize, 14] {
+        let segment = random_segment(7 + start_rank as u64, start_rank, 10, 2, 2);
+        group.throughput(Throughput::Elements(segment.total_flops()));
+        group.bench_with_input(
+            BenchmarkId::new("step_by_step", start_rank),
+            &segment,
+            |b, seg| b.iter(|| execute_step_by_step(seg, &model)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused", start_rank),
+            &segment,
+            |b, seg| b.iter(|| execute_fused(seg, &model, 13)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_secondary_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("secondary_slicing_planner");
+    group.sample_size(20);
+    for steps in [16usize, 64] {
+        let segment = random_segment(21, 18, steps, 2, 2);
+        let stem_sets = segment.stem_index_sets();
+        let branch_sets: Vec<IndexSet> =
+            segment.branches.iter().map(|b| b.indices().clone()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| plan_secondary_slicing(&stem_sets, &branch_sets, 13))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors, bench_secondary_planner);
+criterion_main!(benches);

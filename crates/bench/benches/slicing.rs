@@ -1,0 +1,46 @@
+//! Benchmarks of the planning pipeline: contraction-path search, lifetime
+//! computation, the lifetime-based slice finder (Algorithm 1), the
+//! simulated-annealing refiner (Algorithm 2) and the greedy baseline — the
+//! machinery behind Fig. 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qtn_bench::{plan_grid, plan_sycamore};
+use qtn_slicing::{
+    compute_lifetimes, greedy_slicer, lifetime_slice_finder, refine_slicing, RefinerConfig,
+};
+
+fn bench_path_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_search");
+    group.sample_size(10);
+    group.bench_function("grid_4x4_m12", |b| b.iter(|| plan_grid(4, 4, 12, 1)));
+    group.bench_function("sycamore_m10", |b| b.iter(|| plan_sycamore(10, 1, 1)));
+    group.finish();
+}
+
+fn bench_slicers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slicers");
+    group.sample_size(10);
+    for cycles in [10usize, 14] {
+        let planned = plan_sycamore(cycles, 2, 2);
+        let stem = planned.stem.clone();
+        let tree = planned.tree.clone();
+        let target = stem.max_rank().saturating_sub(6).max(16);
+        group.bench_function(BenchmarkId::new("lifetime_table", cycles), |b| {
+            b.iter(|| compute_lifetimes(&stem))
+        });
+        group.bench_function(BenchmarkId::new("lifetime_finder", cycles), |b| {
+            b.iter(|| lifetime_slice_finder(&stem, target))
+        });
+        let found = lifetime_slice_finder(&stem, target);
+        group.bench_function(BenchmarkId::new("sa_refiner", cycles), |b| {
+            b.iter(|| refine_slicing(&stem, &found, &RefinerConfig::default()))
+        });
+        group.bench_function(BenchmarkId::new("greedy_baseline", cycles), |b| {
+            b.iter(|| greedy_slicer(&tree, target))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_search, bench_slicers);
+criterion_main!(benches);

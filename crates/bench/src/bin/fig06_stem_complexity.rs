@@ -1,0 +1,59 @@
+//! Figure 6: per-step time complexity along the stem, before and after
+//! slicing, together with the per-step slicing multiple.
+//!
+//! The paper plots these curves for a Sycamore (m = 20) contraction tree and
+//! concludes that a good slicing set keeps the complexity of the
+//! computation-intensive middle of the stem (big tensors are contained in
+//! the lifetimes of as many sliced edges as possible) while the cheap ends
+//! absorb the doubling.
+//!
+//! Usage: `cargo run --release -p qtn-bench --bin fig06_stem_complexity
+//! [cycles=20] [target=30] [seed=1]`
+
+use qtn_bench::{arg_or, plan_sycamore};
+use qtn_slicing::lifetime_slice_finder;
+use std::collections::HashSet;
+
+fn main() {
+    let cycles: usize = arg_or("cycles", 20);
+    let target: usize = arg_or("target", 30);
+    let seed: u64 = arg_or("seed", 1);
+
+    println!("# Figure 6 reproduction: stem complexity before/after slicing");
+    println!("# Sycamore-style RQC, m = {cycles}, target rank = {target}, seed = {seed}");
+    let planned = plan_sycamore(cycles, seed, 4);
+    let stem = &planned.stem;
+    println!(
+        "# stem: {} steps, log2(total cost) = {:.2}, max rank = {}",
+        stem.len(),
+        stem.total_log_cost(),
+        stem.max_rank()
+    );
+
+    let plan = lifetime_slice_finder(stem, target);
+    let sliced: HashSet<_> = plan.sliced.iter().copied().collect();
+    println!("# sliced edges: {} -> 2^{} subtasks", plan.len(), plan.len());
+    println!("#");
+    println!("# step  log2(original)  log2(per-subtask)  multiple(=2^(|S|-hits))");
+    for (i, step) in stem.steps.iter().enumerate() {
+        let union = step.union();
+        let hits = union.iter().filter(|e| sliced.contains(e)).count();
+        let original = union.len() as f64;
+        let per_subtask = (union.len() - hits) as f64;
+        let multiple = (plan.len() - hits) as f64; // log2 of the redundancy multiple
+        println!(
+            "{:>5}  {:>15.1}  {:>17.1}  2^{:.0}",
+            i, original, per_subtask, multiple
+        );
+    }
+
+    // Summary in the shape the paper's text reports.
+    let total_after = qtn_slicing::sliced_log_cost(stem, &plan.sliced);
+    println!("#");
+    println!(
+        "# total: log2(original) = {:.2}, log2(sliced total) = {:.2}, overhead = {:.3}",
+        stem.total_log_cost(),
+        total_after,
+        qtn_slicing::slicing_overhead(stem, &plan.sliced)
+    );
+}

@@ -1,0 +1,27 @@
+use qtn_circuit::{circuit_to_network, sycamore_rqc, OutputSpec};
+use qtn_tensornet::*;
+fn main() {
+    for m in [12usize, 20] {
+        let c = sycamore_rqc(m, 2023);
+        let b = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0; 53]));
+        let g = TensorNetwork::from_build(&b);
+        let mut w = g.clone();
+        let pre = simplify_network(&mut w);
+        // greedy best of 8
+        let cands = random_greedy_paths(&w, 8, 7);
+        let (t, p) = cands.into_iter().next().unwrap();
+        let mut pairs_g = pre.clone(); pairs_g.extend(p);
+        println!("m={m} greedy best-of-8: log2 cost {:.2} max rank {}", t.total_log_cost(), t.max_rank());
+        // partition
+        let mut w2 = g.clone();
+        let mut pairs_p = simplify_network(&mut w2);
+        pairs_p.extend(partition_path(&mut w2, 3));
+        let tp = ContractionTree::from_pairs(&g, &pairs_p);
+        println!("m={m} partition:       log2 cost {:.2} max rank {}", tp.total_log_cost(), tp.max_rank());
+        // partition + refine
+        let (rp, rep) = refine_path(&tp, RefineObjective::Cost, 6);
+        let tr = ContractionTree::from_pairs(&g, &rp);
+        println!("m={m} part+refine:     log2 cost {:.2} max rank {} ({} rotations)", tr.total_log_cost(), tr.max_rank(), rep.rotations);
+        let _ = pre.len(); let _ = pairs_g.len();
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every figure and table of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md's per-experiment index) and,
+//! where the artifact is a timing, a Criterion bench under `benches/`. The
+//! helpers here build the workloads those targets share: Sycamore-style
+//! tensor networks, contraction trees, and stems.
+
+#![warn(missing_docs)]
+
+use qtn_circuit::{circuit_to_network, Circuit, OutputSpec, RqcConfig};
+use qtn_tensornet::{
+    extract_stem, random_greedy_paths, simplify_network, ContractionTree, Stem, TensorNetwork,
+};
+
+/// A planned workload: the network, the chosen contraction tree and its stem.
+pub struct PlannedNetwork {
+    /// The circuit the network came from.
+    pub circuit: Circuit,
+    /// The full tensor network (structure only).
+    pub network: TensorNetwork,
+    /// The contraction tree selected by the path search.
+    pub tree: ContractionTree,
+    /// The stem of that tree.
+    pub stem: Stem,
+}
+
+/// Build and plan a Sycamore-style network with `cycles` cycles on the full
+/// 53-qubit layout. Planning is structural only, so this is fast even for
+/// m = 20.
+pub fn plan_sycamore(cycles: usize, seed: u64, path_candidates: usize) -> PlannedNetwork {
+    let circuit = RqcConfig::sycamore(cycles, seed).build();
+    plan_circuit(circuit, seed, path_candidates)
+}
+
+/// Build and plan a random circuit on a small `rows x cols` grid (executable
+/// on a laptop end to end).
+pub fn plan_grid(rows: usize, cols: usize, cycles: usize, seed: u64) -> PlannedNetwork {
+    let circuit = RqcConfig::small(rows, cols, cycles, seed).build();
+    plan_circuit(circuit, seed, 4)
+}
+
+fn plan_circuit(circuit: Circuit, seed: u64, path_candidates: usize) -> PlannedNetwork {
+    let n = circuit.num_qubits();
+    let build = circuit_to_network(&circuit, &OutputSpec::Amplitude(vec![0; n]));
+    let network = TensorNetwork::from_build(&build);
+    let mut work = network.clone();
+    let mut pairs = simplify_network(&mut work);
+    let candidates = random_greedy_paths(&work, path_candidates.max(1), seed);
+    let (_, best) = candidates.into_iter().next().expect("no contraction path found");
+    pairs.extend(best);
+    let tree = ContractionTree::from_pairs(&network, &pairs);
+    let stem = extract_stem(&tree);
+    PlannedNetwork { circuit, network, tree, stem }
+}
+
+/// Parse a `NAME=value` style argument from the command line, with a default.
+pub fn arg_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::args()
+        .filter_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_grid_produces_consistent_structures() {
+        let p = plan_grid(3, 3, 8, 1);
+        assert_eq!(p.circuit.num_qubits(), 9);
+        assert_eq!(p.tree.node(p.tree.root()).rank(), 0);
+        assert!(!p.stem.is_empty());
+        assert!(p.network.num_active() > 0);
+    }
+
+    #[test]
+    fn plan_sycamore_is_structurally_sound() {
+        let p = plan_sycamore(10, 3, 2);
+        assert_eq!(p.circuit.num_qubits(), 53);
+        assert!(p.tree.total_log_cost() > 15.0);
+        assert!(p.stem.max_rank() >= 10);
+    }
+
+    #[test]
+    fn arg_parsing_defaults() {
+        assert_eq!(arg_or("nonexistent_param", 42usize), 42);
+    }
+}

@@ -1,0 +1,149 @@
+//! Circuit intermediate representation.
+
+use crate::gate::Gate;
+
+/// A gate applied to specific qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOp {
+    /// The gate.
+    pub gate: Gate,
+    /// Target qubits (length 1 or 2 matching the gate arity). For two-qubit
+    /// gates the first entry is the first tensor axis (control for CNOT).
+    pub qubits: Vec<usize>,
+}
+
+/// A quantum circuit: a number of qubits and an ordered list of gate
+/// applications. All qubits start in |0⟩.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<GateOp>,
+}
+
+impl Circuit {
+    /// Create an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { num_qubits, ops: Vec::new() }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate operations in program order.
+    pub fn ops(&self) -> &[GateOp] {
+        &self.ops
+    }
+
+    /// Number of gate operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append a single-qubit gate.
+    ///
+    /// # Panics
+    /// Panics if the gate is not single-qubit or the qubit is out of range.
+    pub fn push1(&mut self, gate: Gate, qubit: usize) -> &mut Self {
+        assert_eq!(gate.arity(), 1, "push1 requires a single-qubit gate");
+        assert!(qubit < self.num_qubits, "qubit {qubit} out of range");
+        self.ops.push(GateOp { gate, qubits: vec![qubit] });
+        self
+    }
+
+    /// Append a two-qubit gate.
+    ///
+    /// # Panics
+    /// Panics if the gate is not two-qubit, a qubit is out of range, or the
+    /// two qubits coincide.
+    pub fn push2(&mut self, gate: Gate, q0: usize, q1: usize) -> &mut Self {
+        assert_eq!(gate.arity(), 2, "push2 requires a two-qubit gate");
+        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit out of range");
+        assert_ne!(q0, q1, "two-qubit gate applied to a single qubit");
+        self.ops.push(GateOp { gate, qubits: vec![q0, q1] });
+        self
+    }
+
+    /// Append an already-constructed operation.
+    pub fn push_op(&mut self, op: GateOp) -> &mut Self {
+        assert_eq!(op.gate.arity(), op.qubits.len(), "gate arity mismatch");
+        for &q in &op.qubits {
+            assert!(q < self.num_qubits, "qubit {q} out of range");
+        }
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of two-qubit gates (the quantity that drives tensor-network
+    /// treewidth and therefore simulation cost).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.gate.arity() == 2).count()
+    }
+
+    /// Circuit depth: the length of the longest chain of gates sharing
+    /// qubits, computed by levelling each qubit wire.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let l = op.qubits.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            for &q in &op.qubits {
+                level[q] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_circuit() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1).push2(Gate::Cz, 1, 2);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn depth_levels_wires() {
+        let mut c = Circuit::new(3);
+        // H(0), H(1) are parallel -> depth 1; CNOT(0,1) -> 2; X(2) parallel -> 1.
+        c.push1(Gate::H, 0).push1(Gate::H, 1).push2(Gate::Cnot, 0, 1).push1(Gate::X, 2);
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn empty_circuit_depth_zero() {
+        assert_eq!(Circuit::new(4).depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        Circuit::new(2).push1(Gate::X, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "single qubit")]
+    fn repeated_qubit_in_two_qubit_gate_panics() {
+        Circuit::new(2).push2(Gate::Cz, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "push1 requires")]
+    fn arity_mismatch_panics() {
+        Circuit::new(2).push1(Gate::Cz, 0);
+    }
+}

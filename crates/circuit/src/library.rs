@@ -1,0 +1,147 @@
+//! Standard circuit constructions.
+//!
+//! The paper's evaluation targets Sycamore random circuits, but the intro
+//! motivates the simulator as a general validation tool for quantum
+//! algorithm and compiler research. These helpers build the standard
+//! circuits the examples and tests use alongside the RQC generator: GHZ
+//! state preparation, the quantum Fourier transform, and a QAOA-style
+//! ansatz over an arbitrary coupling graph.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::f64::consts::PI;
+
+/// GHZ state preparation: H on qubit 0 followed by a CNOT ladder.
+pub fn ghz(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 1, "GHZ needs at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    c.push1(Gate::H, 0);
+    for q in 1..num_qubits {
+        c.push2(Gate::Cnot, q - 1, q);
+    }
+    c
+}
+
+/// Quantum Fourier transform on `num_qubits` qubits (without the final
+/// qubit-order reversal, which a simulator does not need — the reversal is
+/// just an axis relabelling).
+pub fn qft(num_qubits: usize) -> Circuit {
+    assert!(num_qubits >= 1, "QFT needs at least one qubit");
+    let mut c = Circuit::new(num_qubits);
+    for target in 0..num_qubits {
+        c.push1(Gate::H, target);
+        for (k, control) in (target + 1..num_qubits).enumerate() {
+            // Controlled phase rotation by pi / 2^(k+1), built from the
+            // two-qubit unitary directly.
+            let phi = PI / (1u64 << (k + 1)) as f64;
+            c.push_op(crate::circuit::GateOp {
+                gate: controlled_phase(phi),
+                qubits: vec![control, target],
+            });
+        }
+    }
+    c
+}
+
+/// A controlled phase gate `diag(1, 1, 1, e^{iφ})` as an explicit two-qubit
+/// unitary.
+pub fn controlled_phase(phi: f64) -> Gate {
+    use qtn_tensor::Complex64;
+    let mut m = [Complex64::ZERO; 16];
+    m[0] = Complex64::ONE;
+    m[5] = Complex64::ONE;
+    m[10] = Complex64::ONE;
+    m[15] = Complex64::from_polar(1.0, phi);
+    Gate::Unitary2(Box::new(m))
+}
+
+/// A QAOA-style ansatz of `layers` alternating cost/mixer layers over the
+/// given coupling edges: each cost layer applies `CZ`-conjugated `Rz(gamma)`
+/// on every edge, each mixer layer applies `Rx(beta)` on every qubit.
+pub fn qaoa_ansatz(
+    num_qubits: usize,
+    edges: &[(usize, usize)],
+    layers: usize,
+    gamma: f64,
+    beta: f64,
+) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for q in 0..num_qubits {
+        c.push1(Gate::H, q);
+    }
+    for _ in 0..layers {
+        for &(a, b) in edges {
+            // exp(-i gamma Z_a Z_b / 2) = CNOT(a,b) · Rz_b(gamma) · CNOT(a,b)
+            c.push2(Gate::Cnot, a, b);
+            c.push1(Gate::Rz(gamma), b);
+            c.push2(Gate::Cnot, a, b);
+        }
+        for q in 0..num_qubits {
+            c.push1(Gate::Rx(2.0 * beta), q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{circuit_to_network, contract_network_naive, OutputSpec};
+    use qtn_tensor::c64;
+
+    fn amplitude(circuit: &Circuit, bits: &[u8]) -> qtn_tensor::Complex64 {
+        let b = circuit_to_network(circuit, &OutputSpec::Amplitude(bits.to_vec()));
+        contract_network_naive(&b).scalar_value()
+    }
+
+    #[test]
+    fn ghz_amplitudes() {
+        let c = ghz(4);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((amplitude(&c, &[0, 0, 0, 0]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!((amplitude(&c, &[1, 1, 1, 1]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!(amplitude(&c, &[1, 0, 0, 0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qft_of_zero_state_is_uniform() {
+        let c = qft(3);
+        let expected = 1.0 / (8f64).sqrt();
+        for idx in 0..8usize {
+            let bits: Vec<u8> = (0..3).map(|q| ((idx >> (2 - q)) & 1) as u8).collect();
+            let a = amplitude(&c, &bits);
+            assert!((a.abs() - expected).abs() < 1e-12, "|{bits:?}| amplitude {a:?}");
+        }
+    }
+
+    #[test]
+    fn qft_gate_count_is_quadratic() {
+        let c = qft(6);
+        // n Hadamards + n(n-1)/2 controlled phases.
+        assert_eq!(c.len(), 6 + 15);
+    }
+
+    #[test]
+    fn controlled_phase_is_unitary() {
+        assert!(controlled_phase(0.37).is_unitary(1e-12));
+        assert!(controlled_phase(-1.2).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn qaoa_total_probability_is_one() {
+        let edges = [(0usize, 1usize), (1, 2), (2, 0)];
+        let c = qaoa_ansatz(3, &edges, 2, 0.4, 0.7);
+        let mut total = 0.0;
+        for idx in 0..8usize {
+            let bits: Vec<u8> = (0..3).map(|q| ((idx >> (2 - q)) & 1) as u8).collect();
+            total += amplitude(&c, &bits).norm_sqr();
+        }
+        assert!((total - 1.0).abs() < 1e-10, "total probability {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn empty_ghz_panics() {
+        ghz(0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Circuit → tensor network conversion.
+//!
+//! In the TNC algorithm "qubits and quantum gates are represented as tensors,
+//! and the whole quantum circuit is treated as a tensor network". This module
+//! performs that translation: every initial |0⟩ state contributes a rank-1
+//! tensor, every single-qubit gate a rank-2 tensor, every two-qubit gate a
+//! rank-4 tensor, and the requested output (a closed amplitude or a set of
+//! open qubits for batched/correlated amplitudes) contributes rank-1
+//! projection tensors or leaves wire indices open.
+
+use crate::circuit::Circuit;
+use qtn_tensor::{c64, Complex64, DenseTensor, IndexId, IndexSet};
+
+/// One tensor of the generated network.
+#[derive(Debug, Clone)]
+pub struct TensorNode {
+    /// Axes of the tensor (tensor-network edge identifiers).
+    pub indices: IndexSet,
+    /// Amplitudes.
+    pub data: DenseTensor<Complex64>,
+    /// Human-readable origin, useful when debugging contraction plans.
+    pub label: String,
+}
+
+/// What the network should compute.
+#[derive(Debug, Clone)]
+pub enum OutputSpec {
+    /// A single closed amplitude ⟨b|C|0…0⟩ for the given bitstring
+    /// (`bits[q]` is qubit `q`'s measured value). The contracted network is
+    /// a scalar.
+    Amplitude(Vec<u8>),
+    /// A partially open network: qubits listed in `open` keep their final
+    /// wire index free (producing a tensor over those qubits — the
+    /// "correlated samples" workload of the paper), the rest are projected
+    /// onto the bits in `fixed` (`fixed[q]` ignored for open qubits).
+    Open {
+        /// Projection bits for the non-open qubits.
+        fixed: Vec<u8>,
+        /// Qubits whose output index stays open.
+        open: Vec<usize>,
+    },
+}
+
+/// The result of converting a circuit.
+#[derive(Debug, Clone)]
+pub struct NetworkBuild {
+    /// All tensors of the network.
+    pub nodes: Vec<TensorNode>,
+    /// Open output indices, one per open qubit, as `(qubit, index)` pairs.
+    pub open_indices: Vec<(usize, IndexId)>,
+    /// Total number of edge identifiers allocated.
+    pub num_indices: u32,
+}
+
+/// Convert a circuit and output specification into a tensor network.
+pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuild {
+    let n = circuit.num_qubits();
+    let mut next_index: IndexId = 0;
+    let mut alloc = || {
+        let id = next_index;
+        next_index += 1;
+        id
+    };
+
+    let mut nodes = Vec::new();
+    // Current wire index of each qubit.
+    let mut wire: Vec<IndexId> = (0..n).map(|_| alloc()).collect();
+
+    // Initial |0> states.
+    for (q, &w) in wire.iter().enumerate() {
+        let data = DenseTensor::from_data(
+            IndexSet::new(vec![w]),
+            vec![Complex64::ONE, Complex64::ZERO],
+        );
+        nodes.push(TensorNode {
+            indices: data.indices().clone(),
+            data,
+            label: format!("init[{q}]"),
+        });
+    }
+
+    // Gates.
+    for (g_idx, op) in circuit.ops().iter().enumerate() {
+        let m = op.gate.matrix();
+        match op.qubits.len() {
+            1 => {
+                let q = op.qubits[0];
+                let i_in = wire[q];
+                let i_out = alloc();
+                // data[o*2 + i] = U[o][i]
+                let data =
+                    DenseTensor::from_data(IndexSet::new(vec![i_out, i_in]), m.clone());
+                nodes.push(TensorNode {
+                    indices: data.indices().clone(),
+                    data,
+                    label: format!("g{g_idx}:{:?}[{q}]", op.gate),
+                });
+                wire[q] = i_out;
+            }
+            2 => {
+                let (q0, q1) = (op.qubits[0], op.qubits[1]);
+                let (i0, i1) = (wire[q0], wire[q1]);
+                let (o0, o1) = (alloc(), alloc());
+                // Tensor axes [o0, o1, i0, i1]; gate matrix basis has q0 as
+                // the most significant bit of both row and column, matching
+                // the axis order directly: data[(o0 o1 i0 i1)] = U[(o0 o1),(i0 i1)].
+                let data = DenseTensor::from_data(IndexSet::new(vec![o0, o1, i0, i1]), m);
+                nodes.push(TensorNode {
+                    indices: data.indices().clone(),
+                    data,
+                    label: format!("g{g_idx}:2q[{q0},{q1}]"),
+                });
+                wire[q0] = o0;
+                wire[q1] = o1;
+            }
+            a => unreachable!("unsupported gate arity {a}"),
+        }
+    }
+
+    // Outputs.
+    let mut open_indices = Vec::new();
+    match output {
+        OutputSpec::Amplitude(bits) => {
+            assert_eq!(bits.len(), n, "amplitude bitstring length mismatch");
+            for (q, (&w, &b)) in wire.iter().zip(bits.iter()).enumerate() {
+                nodes.push(projection_node(q, w, b));
+            }
+        }
+        OutputSpec::Open { fixed, open } => {
+            assert_eq!(fixed.len(), n, "fixed bitstring length mismatch");
+            for &q in open {
+                assert!(q < n, "open qubit {q} out of range");
+            }
+            for (q, &w) in wire.iter().enumerate() {
+                if open.contains(&q) {
+                    open_indices.push((q, w));
+                } else {
+                    nodes.push(projection_node(q, w, fixed[q]));
+                }
+            }
+        }
+    }
+
+    NetworkBuild { nodes, open_indices, num_indices: next_index }
+}
+
+fn projection_node(q: usize, w: IndexId, bit: u8) -> TensorNode {
+    assert!(bit <= 1, "projection bit must be 0 or 1");
+    let data = DenseTensor::from_data(
+        IndexSet::new(vec![w]),
+        if bit == 0 {
+            vec![Complex64::ONE, Complex64::ZERO]
+        } else {
+            vec![Complex64::ZERO, Complex64::ONE]
+        },
+    );
+    TensorNode {
+        indices: data.indices().clone(),
+        data,
+        label: format!("proj[{q}]={bit}"),
+    }
+}
+
+/// Contract the whole network by brute force (repeated pairwise contraction
+/// in construction order). Exponential in the number of open indices and
+/// intermediate ranks, so only suitable for small circuits; used as a
+/// correctness oracle by tests across the workspace.
+pub fn contract_network_naive(build: &NetworkBuild) -> DenseTensor<Complex64> {
+    let mut acc: Option<DenseTensor<Complex64>> = None;
+    for node in &build.nodes {
+        acc = Some(match acc {
+            None => node.data.clone(),
+            Some(t) => qtn_tensor::contract_pair(&t, &node.data),
+        });
+    }
+    let _ = c64(0.0, 0.0);
+    acc.expect("empty network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Gate;
+
+    fn amplitude(circuit: &Circuit, bits: &[u8]) -> Complex64 {
+        let build = circuit_to_network(circuit, &OutputSpec::Amplitude(bits.to_vec()));
+        contract_network_naive(&build).scalar_value()
+    }
+
+    #[test]
+    fn empty_circuit_amplitudes() {
+        let c = Circuit::new(2);
+        assert!((amplitude(&c, &[0, 0]) - Complex64::ONE).abs() < 1e-12);
+        assert!(amplitude(&c, &[0, 1]).abs() < 1e-12);
+        assert!(amplitude(&c, &[1, 0]).abs() < 1e-12);
+        assert!(amplitude(&c, &[1, 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_superposition() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::H, 0);
+        let a0 = amplitude(&c, &[0]);
+        let a1 = amplitude(&c, &[1]);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((a0 - c64(h, 0.0)).abs() < 1e-12);
+        assert!((a1 - c64(h, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((amplitude(&c, &[0, 0]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!((amplitude(&c, &[1, 1]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!(amplitude(&c, &[0, 1]).abs() < 1e-12);
+        assert!(amplitude(&c, &[1, 0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_gate_flips() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::X, 1);
+        assert!((amplitude(&c, &[0, 1]) - Complex64::ONE).abs() < 1e-12);
+        assert!(amplitude(&c, &[0, 0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_counts() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).push2(Gate::Cz, 0, 1).push1(Gate::T, 2);
+        let b = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0, 0]));
+        // 3 inits + 3 gates + 3 projections
+        assert_eq!(b.nodes.len(), 9);
+        assert!(b.open_indices.is_empty());
+        // indices: 3 initial wires + 1 (H out) + 2 (CZ out) + 1 (T out) = 7
+        assert_eq!(b.num_indices, 7);
+    }
+
+    #[test]
+    fn open_output_produces_state_over_open_qubits() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let b = circuit_to_network(
+            &c,
+            &OutputSpec::Open { fixed: vec![0, 0], open: vec![0, 1] },
+        );
+        assert_eq!(b.open_indices.len(), 2);
+        let t = contract_network_naive(&b);
+        assert_eq!(t.rank(), 2);
+        // Bell state amplitudes.
+        let h = 1.0 / 2f64.sqrt();
+        assert!((t.norm_sqr() - 1.0).abs() < 1e-12);
+        // Order the axes as (q0, q1) to check entries.
+        let order: IndexSet = b.open_indices.iter().map(|&(_, id)| id).collect();
+        let t = qtn_tensor::permute::permute_to_order(&t, &order);
+        assert!((t.get(&[0, 0]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!((t.get(&[1, 1]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!(t.get(&[0, 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partially_open_network() {
+        // Bell pair, fix qubit 0 to |0>, leave qubit 1 open: result prop to |0>.
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let b = circuit_to_network(&c, &OutputSpec::Open { fixed: vec![0, 0], open: vec![1] });
+        let t = contract_network_naive(&b);
+        assert_eq!(t.rank(), 1);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((t.get(&[0]) - c64(h, 0.0)).abs() < 1e-12);
+        assert!(t.get(&[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unitarity_preserves_total_probability() {
+        // Sum over all 8 amplitudes of |a|^2 must be 1 for a 3-qubit circuit.
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0)
+            .push1(Gate::SqrtY, 1)
+            .push1(Gate::T, 2)
+            .push2(Gate::sycamore_fsim(), 0, 1)
+            .push2(Gate::Cz, 1, 2)
+            .push1(Gate::SqrtW, 0);
+        let mut total = 0.0;
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                for b2 in 0..2u8 {
+                    total += amplitude(&c, &[b0, b1, b2]).norm_sqr();
+                }
+            }
+        }
+        assert!((total - 1.0).abs() < 1e-10, "total probability {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bitstring length mismatch")]
+    fn wrong_bitstring_length_panics() {
+        let c = Circuit::new(2);
+        circuit_to_network(&c, &OutputSpec::Amplitude(vec![0]));
+    }
+}

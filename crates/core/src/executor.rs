@@ -1,0 +1,335 @@
+//! The parallel sliced executor.
+//!
+//! Each of the `2^|S|` assignments of the sliced edges is an independent
+//! subtask: the leaf tensors carrying sliced edges are sliced to the
+//! assignment's values, the contraction tree is replayed bottom-up, and the
+//! subtask results are combined — *summed* over sliced edges that are
+//! interior to the network (the two halves of a contracted dimension) and
+//! *stacked* over sliced edges that are open outputs (the paper's
+//! slice-then-stack treatment of the big output tensor). Subtasks run on a
+//! pool of scoped worker threads, one partial accumulator per worker, and a
+//! single reduction at the end mirrors the one allReduce of the Sunway runs.
+
+use crate::planner::SimulationPlan;
+use parking_lot::Mutex;
+use qtn_tensor::{contract_pair, Complex64, ContractionSpec, DenseTensor, IndexId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Executor options.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of worker threads ("processes" in the paper's terminology).
+    pub workers: usize,
+    /// Execute at most this many subtasks (0 = all). Benchmarks use this to
+    /// measure per-subtask cost without running an entire sweep.
+    pub max_subtasks: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self { workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4), max_subtasks: 0 }
+    }
+}
+
+/// What the executor measured.
+#[derive(Debug, Clone)]
+pub struct ExecutionStats {
+    /// Subtasks actually executed.
+    pub subtasks_run: usize,
+    /// Total subtasks of the plan.
+    pub subtasks_total: usize,
+    /// Real floating point operations across all executed subtasks.
+    pub flops: u64,
+    /// Wall-clock time of the whole execution.
+    pub wall_seconds: f64,
+    /// Mean wall-clock time of one subtask on one worker.
+    pub seconds_per_subtask: f64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+impl ExecutionStats {
+    /// Sustained flops/s over the execution.
+    pub fn sustained_flops(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.flops as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Execute a plan, returning the contracted tensor (a scalar amplitude for
+/// closed networks, a tensor over the open indices otherwise) and statistics.
+pub fn execute_plan(
+    plan: &SimulationPlan,
+    config: &ExecutorConfig,
+) -> (DenseTensor<Complex64>, ExecutionStats) {
+    let open = plan.network.open_indices();
+    let sliced = &plan.slicing.sliced;
+    let sliced_open: Vec<IndexId> =
+        sliced.iter().copied().filter(|e| open.contains(e)).collect();
+    let sliced_closed: Vec<IndexId> =
+        sliced.iter().copied().filter(|e| !open.contains(e)).collect();
+
+    let total_subtasks = 1usize << sliced.len();
+    let run_subtasks = if config.max_subtasks == 0 {
+        total_subtasks
+    } else {
+        config.max_subtasks.min(total_subtasks)
+    };
+    let workers = config.workers.max(1).min(run_subtasks.max(1));
+
+    // Output accumulator over the open indices.
+    let output_indices: qtn_tensor::IndexSet = {
+        let mut root = plan.tree.node(plan.tree.root()).indices.clone();
+        root.sort_unstable();
+        root.into_iter().collect()
+    };
+    let accumulator = Mutex::new(DenseTensor::<Complex64>::zeros(output_indices.clone()));
+    let next = AtomicUsize::new(0);
+    let flops_total = AtomicUsize::new(0);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Per-worker partial accumulator; merged once at the end.
+                let mut partial = DenseTensor::<Complex64>::zeros(output_indices.clone());
+                let mut local_flops = 0u64;
+                loop {
+                    let assignment = next.fetch_add(1, Ordering::Relaxed);
+                    if assignment >= run_subtasks {
+                        break;
+                    }
+                    let (result, flops) =
+                        run_subtask(plan, sliced, assignment);
+                    local_flops += flops;
+                    merge_subtask(
+                        &mut partial,
+                        &result,
+                        &sliced_open,
+                        &sliced_closed,
+                        sliced,
+                        assignment,
+                    );
+                }
+                flops_total.fetch_add(local_flops as usize, Ordering::Relaxed);
+                let mut acc = accumulator.lock();
+                acc.accumulate(&partial);
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let result = accumulator.into_inner();
+    let flops = flops_total.load(Ordering::Relaxed) as u64;
+    let stats = ExecutionStats {
+        subtasks_run: run_subtasks,
+        subtasks_total: total_subtasks,
+        flops,
+        wall_seconds: wall,
+        seconds_per_subtask: if run_subtasks > 0 {
+            wall * workers as f64 / run_subtasks as f64
+        } else {
+            0.0
+        },
+        workers,
+    };
+    (result, stats)
+}
+
+/// Execute one slice assignment: slice the leaves, replay the tree schedule.
+/// Returns the subtask's root tensor and its flop count.
+fn run_subtask(
+    plan: &SimulationPlan,
+    sliced: &[IndexId],
+    assignment: usize,
+) -> (DenseTensor<Complex64>, u64) {
+    // Slots indexed by tree-node id.
+    let num_nodes = plan.tree.nodes().len();
+    let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
+    let mut flops = 0u64;
+
+    // Leaves: slice away any sliced edges.
+    for (node_id, node) in plan.tree.nodes().iter().enumerate() {
+        if let Some(vertex) = node.leaf_vertex {
+            let mut t = plan.build.nodes[vertex].data.clone();
+            for (pos, &e) in sliced.iter().enumerate() {
+                if t.indices().contains(e) {
+                    let bit = ((assignment >> pos) & 1) as u8;
+                    t = t.slice_index(e, bit);
+                }
+            }
+            slots[node_id] = Some(t);
+        }
+    }
+
+    // Replay the schedule.
+    for (l, r, out) in plan.tree.schedule() {
+        let a = slots[l].take().expect("left operand missing");
+        let b = slots[r].take().expect("right operand missing");
+        let spec = ContractionSpec::new(a.indices(), b.indices());
+        flops += spec.flops();
+        slots[out] = Some(contract_pair(&a, &b));
+    }
+    (slots[plan.tree.root()].take().expect("root missing"), flops)
+}
+
+/// Merge a subtask result into the partial accumulator: stack over sliced
+/// open indices (write into the slot the assignment selects), sum otherwise.
+fn merge_subtask(
+    partial: &mut DenseTensor<Complex64>,
+    result: &DenseTensor<Complex64>,
+    sliced_open: &[IndexId],
+    _sliced_closed: &[IndexId],
+    sliced: &[IndexId],
+    assignment: usize,
+) {
+    if sliced_open.is_empty() {
+        // Pure summation; axis order of result may differ from partial.
+        if result.rank() == 0 && partial.rank() == 0 {
+            let v = partial.scalar_value() + result.scalar_value();
+            partial.data_mut()[0] = v;
+        } else {
+            let aligned = qtn_tensor::permute::permute_to_order(result, partial.indices());
+            partial.accumulate(&aligned);
+        }
+        return;
+    }
+    // Stack: expand the result with the sliced open indices fixed to the
+    // assignment's bits, then accumulate (the summed contribution of the
+    // closed sliced edges still adds across subtasks sharing the same open
+    // bits).
+    let mut expanded = result.clone();
+    for &e in sliced_open {
+        let pos = sliced.iter().position(|&x| x == e).unwrap();
+        let bit = ((assignment >> pos) & 1) as u8;
+        let mut axes: Vec<IndexId> = vec![e];
+        axes.extend(expanded.indices().iter());
+        let mut bigger =
+            DenseTensor::<Complex64>::zeros(qtn_tensor::IndexSet::new(axes));
+        expanded.stack_into(&mut bigger, e, bit);
+        expanded = bigger;
+    }
+    let aligned = qtn_tensor::permute::permute_to_order(&expanded, partial.indices());
+    partial.accumulate(&aligned);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_simulation, PlannerConfig};
+    use qtn_circuit::{OutputSpec, RqcConfig};
+    use qtn_statevector::StateVector;
+
+    fn check_amplitude_against_statevector(
+        rows: usize,
+        cols: usize,
+        cycles: usize,
+        seed: u64,
+        target_rank: usize,
+        workers: usize,
+    ) {
+        let circuit = RqcConfig::small(rows, cols, cycles, seed).build();
+        let n = circuit.num_qubits();
+        let bits: Vec<u8> = (0..n).map(|q| ((seed as usize + q) % 2) as u8).collect();
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(bits.clone()),
+            &PlannerConfig { target_rank, ..Default::default() },
+        );
+        let (result, stats) = execute_plan(&plan, &ExecutorConfig { workers, max_subtasks: 0 });
+        let sv = StateVector::simulate(&circuit);
+        let expected = sv.amplitude(&bits);
+        let got = result.scalar_value();
+        assert!(
+            (got - expected).abs() < 1e-8,
+            "amplitude mismatch: {got:?} vs {expected:?} ({} subtasks)",
+            stats.subtasks_total
+        );
+        assert_eq!(stats.subtasks_run, stats.subtasks_total);
+        assert!(stats.flops > 0);
+    }
+
+    #[test]
+    fn unsliced_execution_matches_statevector() {
+        check_amplitude_against_statevector(2, 3, 6, 1, 30, 2);
+    }
+
+    #[test]
+    fn sliced_execution_matches_statevector() {
+        // Tight target forces several sliced edges -> many subtasks.
+        check_amplitude_against_statevector(3, 3, 8, 2, 8, 4);
+    }
+
+    #[test]
+    fn heavily_sliced_execution_matches_statevector() {
+        check_amplitude_against_statevector(3, 3, 8, 3, 6, 4);
+    }
+
+    #[test]
+    fn single_worker_and_many_workers_agree() {
+        let circuit = RqcConfig::small(3, 3, 8, 4).build();
+        let n = circuit.num_qubits();
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 8, ..Default::default() },
+        );
+        let (a, _) = execute_plan(&plan, &ExecutorConfig { workers: 1, max_subtasks: 0 });
+        let (b, _) = execute_plan(&plan, &ExecutorConfig { workers: 8, max_subtasks: 0 });
+        assert!((a.scalar_value() - b.scalar_value()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn open_output_matches_statevector_marginal() {
+        // Open two qubits: the result tensor must equal the state-vector
+        // amplitudes with the other qubits fixed to 0.
+        let circuit = RqcConfig::small(2, 3, 6, 5).build();
+        let n = circuit.num_qubits();
+        let open = vec![0usize, 1usize];
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Open { fixed: vec![0; n], open: open.clone() },
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        );
+        let (result, _) = execute_plan(&plan, &ExecutorConfig::default());
+        assert_eq!(result.rank(), 2);
+        let sv = StateVector::simulate(&circuit);
+        // Map open qubits to their network indices to find the axis order.
+        let order: qtn_tensor::IndexSet =
+            plan.build.open_indices.iter().map(|&(_, id)| id).collect();
+        let result = qtn_tensor::permute::permute_to_order(&result, &order);
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                let mut bits = vec![0u8; n];
+                bits[open[0]] = b0;
+                bits[open[1]] = b1;
+                let expected = sv.amplitude(&bits);
+                let got = result.get(&[b0, b1]);
+                assert!(
+                    (got - expected).abs() < 1e-8,
+                    "open amplitude mismatch at {b0}{b1}: {got:?} vs {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_subtasks_limits_work() {
+        let circuit = RqcConfig::small(3, 3, 8, 6).build();
+        let n = circuit.num_qubits();
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 5, ..Default::default() },
+        );
+        assert!(plan.num_subtasks() > 2);
+        let (_, stats) = execute_plan(&plan, &ExecutorConfig { workers: 2, max_subtasks: 2 });
+        assert_eq!(stats.subtasks_run, 2);
+        assert!(stats.subtasks_total > 2);
+        assert!(stats.seconds_per_subtask >= 0.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The simulation planner.
+//!
+//! Planning happens entirely on the network structure (no tensor data is
+//! touched): circuit → tensor network → simplification → contraction-path
+//! search → stem extraction → lifetime-based slicing → simulated-annealing
+//! refinement. The resulting [`SimulationPlan`] contains everything the
+//! executor needs to run the sliced contraction, and everything the
+//! benchmark harness needs to report complexities and overheads.
+
+use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
+use qtn_slicing::{
+    lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan,
+};
+use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
+use qtn_tensornet::{
+    extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network,
+    ContractionTree, PathConfig, RefineObjective, Stem, TensorNetwork,
+};
+
+/// Planner options.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Maximum tensor rank allowed after slicing (log2 of the per-process
+    /// memory budget in amplitudes).
+    pub target_rank: usize,
+    /// Number of randomised greedy path candidates to try (the best by total
+    /// cost is kept). 1 = deterministic greedy.
+    pub path_candidates: usize,
+    /// Whether to run the simulated-annealing refiner on the slicing set.
+    pub refine: bool,
+    /// Whether to run the adaptive contraction-path refiner (subtree
+    /// rotations with the Sunway-aware objective) after the path search.
+    pub refine_path: bool,
+    /// Refiner parameters.
+    pub refiner: RefinerConfig,
+    /// Seed for the randomised path search.
+    pub seed: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            target_rank: 26,
+            path_candidates: 4,
+            refine: true,
+            refine_path: true,
+            refiner: RefinerConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Everything needed to execute a sliced contraction.
+#[derive(Debug, Clone)]
+pub struct SimulationPlan {
+    /// The tensor network with data, as produced from the circuit.
+    pub build: NetworkBuild,
+    /// The structural graph of the network.
+    pub network: TensorNetwork,
+    /// Full contraction pair list in SSA vertex ids (simplification prefix +
+    /// searched path).
+    pub pairs: Vec<(usize, usize)>,
+    /// The contraction tree of `pairs`.
+    pub tree: ContractionTree,
+    /// The stem of the tree.
+    pub stem: Stem,
+    /// The slicing decision.
+    pub slicing: SlicingPlan,
+    /// log2 of the un-sliced contraction cost.
+    pub log_cost: f64,
+    /// Slicing overhead (Eq. 2) of the chosen set on the stem.
+    pub overhead: f64,
+}
+
+impl SimulationPlan {
+    /// Number of independent slice subtasks.
+    pub fn num_subtasks(&self) -> usize {
+        self.slicing.num_subtasks()
+    }
+
+    /// Largest tensor rank any subtask materialises.
+    pub fn sliced_max_rank(&self) -> usize {
+        sliced_max_rank(&self.stem, &self.slicing.sliced)
+    }
+}
+
+/// Plan the simulation of a circuit for the given output specification.
+pub fn plan_simulation(
+    circuit: &Circuit,
+    output: &OutputSpec,
+    config: &PlannerConfig,
+) -> SimulationPlan {
+    let build = circuit_to_network(circuit, output);
+    let network = TensorNetwork::from_build(&build);
+
+    // Simplification prefix.
+    let mut work = network.clone();
+    let mut pairs = simplify_network(&mut work);
+
+    // Path search on the simplified network.
+    if config.path_candidates <= 1 {
+        pairs.extend(greedy_path(&mut work, &PathConfig { temperature: 0.0, seed: config.seed }));
+    } else {
+        let candidates = random_greedy_paths(&work, config.path_candidates, config.seed);
+        let (_, best_pairs) = candidates.into_iter().next().expect("no path candidates");
+        pairs.extend(best_pairs);
+    }
+
+    let mut tree = ContractionTree::from_pairs(&network, &pairs);
+    if config.refine_path {
+        // Adaptive path refinement (the paper's third contribution): subtree
+        // rotations that never increase the cost and prefer LDM-friendly
+        // absorptions.
+        let (refined_pairs, _report) = refine_path(
+            &tree,
+            RefineObjective::SunwayAdaptive { ldm_rank: 13 },
+            4,
+        );
+        pairs = refined_pairs;
+        tree = ContractionTree::from_pairs(&network, &pairs);
+    }
+    let stem = extract_stem(&tree);
+
+    // Slice with the lifetime finder and optionally refine. Open (output)
+    // indices may be sliced too: the executor *stacks* those subtask results
+    // into the output tensor instead of summing them, exactly as the paper
+    // stores its rank-53 output sliced on disk (§3.3).
+    let mut slicing = lifetime_slice_finder(&stem, config.target_rank);
+    if config.refine {
+        slicing = refine_slicing(&stem, &slicing, &config.refiner);
+    }
+
+    let log_cost = tree.total_log_cost();
+    let overhead = slicing_overhead(&stem, &slicing.sliced);
+    SimulationPlan { build, network, pairs, tree, stem, slicing, log_cost, overhead }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtn_circuit::RqcConfig;
+
+    fn small_circuit(cycles: usize, seed: u64) -> Circuit {
+        RqcConfig::small(3, 3, cycles, seed).build()
+    }
+
+    #[test]
+    fn plan_for_closed_amplitude() {
+        let c = small_circuit(8, 1);
+        let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        let cfg = PlannerConfig { target_rank: 10, ..Default::default() };
+        let plan = plan_simulation(&c, &output, &cfg);
+        assert!(plan.log_cost > 0.0);
+        assert!(plan.overhead >= 1.0 - 1e-9);
+        assert!(plan.sliced_max_rank() <= 10);
+        assert!(plan.num_subtasks() >= 1);
+        assert_eq!(plan.tree.node(plan.tree.root()).rank(), 0);
+    }
+
+    #[test]
+    fn loose_target_means_no_slicing() {
+        let c = small_circuit(6, 2);
+        let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        let cfg = PlannerConfig { target_rank: 40, ..Default::default() };
+        let plan = plan_simulation(&c, &output, &cfg);
+        assert!(plan.slicing.is_empty());
+        assert_eq!(plan.num_subtasks(), 1);
+        assert!((plan.overhead - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_output_networks_can_be_planned() {
+        let c = small_circuit(8, 3);
+        let n = c.num_qubits();
+        let output = OutputSpec::Open { fixed: vec![0; n], open: vec![0, 1, 2] };
+        let cfg = PlannerConfig { target_rank: 8, ..Default::default() };
+        let plan = plan_simulation(&c, &output, &cfg);
+        let open: Vec<qtn_tensor::IndexId> = plan.network.open_indices();
+        assert_eq!(open.len(), 3);
+        // The root of the tree carries exactly the open indices.
+        let mut root_idx = plan.tree.node(plan.tree.root()).indices.clone();
+        root_idx.sort_unstable();
+        let mut open_sorted = open.clone();
+        open_sorted.sort_unstable();
+        assert_eq!(root_idx, open_sorted);
+        assert!(plan.sliced_max_rank() <= 8);
+    }
+
+    #[test]
+    fn tighter_targets_slice_more() {
+        let c = small_circuit(10, 4);
+        let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        let loose = plan_simulation(
+            &c,
+            &output,
+            &PlannerConfig { target_rank: 14, ..Default::default() },
+        );
+        let tight = plan_simulation(
+            &c,
+            &output,
+            &PlannerConfig { target_rank: 9, ..Default::default() },
+        );
+        assert!(tight.slicing.len() >= loose.slicing.len());
+    }
+
+    #[test]
+    fn refinement_does_not_violate_feasibility() {
+        let c = small_circuit(10, 5);
+        let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        for refine in [false, true] {
+            let cfg = PlannerConfig { target_rank: 9, refine, ..Default::default() };
+            let plan = plan_simulation(&c, &output, &cfg);
+            assert!(plan.sliced_max_rank() <= 9, "refine={refine}");
+        }
+    }
+
+    #[test]
+    fn deterministic_planning() {
+        let c = small_circuit(8, 6);
+        let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        let cfg = PlannerConfig { target_rank: 10, ..Default::default() };
+        let a = plan_simulation(&c, &output, &cfg);
+        let b = plan_simulation(&c, &output, &cfg);
+        assert_eq!(a.pairs, b.pairs);
+        assert_eq!(a.slicing, b.slicing);
+    }
+}

@@ -1,0 +1,119 @@
+//! Full-system projection of measured runs (§6.2 of the paper).
+//!
+//! The paper measures 1024 nodes and projects the whole machine: "Using 1024
+//! nodes, a perfect sample or 1M correlated samples can be generated in
+//! 10098.5 s. Considering the scaling result, we project that we can reduce
+//! the whole time cost using 107,520 nodes (41,932,800 cores) to 96.1 s. The
+//! sustainable single-precision performance is projected as 308.6 Pflops."
+//! This module performs the same projection from this repository's measured
+//! per-subtask cost and the analytic scaling model.
+
+use crate::executor::ExecutionStats;
+use qtn_sunway::scaling::{project_full_system, ScalingModel};
+use qtn_sunway::SunwayArch;
+
+/// Projection of a measured (or partially measured) run to larger scales.
+#[derive(Debug, Clone)]
+pub struct RunProjection {
+    /// Seconds per subtask assumed by the projection.
+    pub seconds_per_subtask: f64,
+    /// Total subtasks of the full job.
+    pub total_subtasks: usize,
+    /// Wall time on the measurement scale (`measured_nodes`).
+    pub measured_nodes: usize,
+    /// Projected wall time on the measurement scale.
+    pub time_at_measured_scale: f64,
+    /// Projected wall time on the full system.
+    pub time_full_system: f64,
+    /// Projected sustained flops/s on the full system.
+    pub sustained_flops_full_system: f64,
+    /// Fraction of the full system's peak.
+    pub efficiency_full_system: f64,
+}
+
+/// Project a run from executor statistics.
+///
+/// `flops_per_subtask` is the floating point work of one subtask (taken from
+/// the plan or measured), `total_subtasks` the size of the full sweep, and
+/// `measured_nodes` the scale the paper-style intermediate figure is quoted
+/// at (1024 in the paper).
+pub fn project_run(
+    arch: &SunwayArch,
+    stats: &ExecutionStats,
+    flops_per_subtask: f64,
+    total_subtasks: usize,
+    measured_nodes: usize,
+) -> RunProjection {
+    let seconds_per_subtask = if stats.subtasks_run > 0 {
+        stats.wall_seconds * stats.workers as f64 / stats.subtasks_run as f64
+    } else {
+        0.0
+    };
+    let model = ScalingModel::new(seconds_per_subtask, 8.0 * (1 << 20) as f64);
+    let time_at_measured = model.strong_time(total_subtasks, measured_nodes);
+    let total_flops = flops_per_subtask * total_subtasks as f64;
+    let projection = project_full_system(arch, time_at_measured, measured_nodes, total_flops);
+    RunProjection {
+        seconds_per_subtask,
+        total_subtasks,
+        measured_nodes,
+        time_at_measured_scale: time_at_measured,
+        time_full_system: projection.time,
+        sustained_flops_full_system: projection.sustained_flops,
+        efficiency_full_system: projection.efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_stats(wall: f64, subtasks: usize, workers: usize) -> ExecutionStats {
+        ExecutionStats {
+            subtasks_run: subtasks,
+            subtasks_total: subtasks,
+            flops: 0,
+            wall_seconds: wall,
+            seconds_per_subtask: wall * workers as f64 / subtasks as f64,
+            workers,
+        }
+    }
+
+    #[test]
+    fn projection_scales_inversely_with_nodes() {
+        let arch = SunwayArch::sw26010pro();
+        let stats = fake_stats(10.0, 64, 8);
+        let p = project_run(&arch, &stats, 1e12, 1 << 20, 1024);
+        assert!(p.time_full_system < p.time_at_measured_scale);
+        let ratio = p.time_at_measured_scale / p.time_full_system;
+        let expected = arch.projection_nodes as f64 / 1024.0;
+        assert!((ratio - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn sustained_flops_consistent_with_time() {
+        let arch = SunwayArch::sw26010pro();
+        let stats = fake_stats(5.0, 32, 4);
+        let flops_per_subtask = 2e12;
+        let total_subtasks = 1 << 16;
+        let p = project_run(&arch, &stats, flops_per_subtask, total_subtasks, 1024);
+        let expected = flops_per_subtask * total_subtasks as f64 / p.time_full_system;
+        assert!((p.sustained_flops_full_system - expected).abs() / expected < 1e-9);
+        assert!(p.efficiency_full_system > 0.0 && p.efficiency_full_system <= 1.0);
+    }
+
+    #[test]
+    fn zero_subtasks_do_not_divide_by_zero() {
+        let arch = SunwayArch::sw26010pro();
+        let stats = ExecutionStats {
+            subtasks_run: 0,
+            subtasks_total: 0,
+            flops: 0,
+            wall_seconds: 0.0,
+            seconds_per_subtask: 0.0,
+            workers: 1,
+        };
+        let p = project_run(&arch, &stats, 0.0, 0, 1024);
+        assert_eq!(p.seconds_per_subtask, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! High-level simulator API.
+//!
+//! [`Simulator`] is the facade a downstream user interacts with: construct it
+//! from a circuit, optionally tune the planner/executor configuration, and
+//! ask for single amplitudes, batches of correlated amplitudes over a set of
+//! open qubits, or samples drawn from such a batch.
+
+use crate::executor::{execute_plan, ExecutionStats, ExecutorConfig};
+use crate::planner::{plan_simulation, PlannerConfig, SimulationPlan};
+use crate::sampling::sample_bitstrings;
+use qtn_circuit::{Circuit, OutputSpec};
+use qtn_tensor::{Complex64, DenseTensor, IndexSet};
+
+/// A tensor-network quantum circuit simulator with lifetime-based slicing.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    circuit: Circuit,
+    planner: PlannerConfig,
+    executor: ExecutorConfig,
+    last_stats: Option<ExecutionStats>,
+}
+
+impl Simulator {
+    /// Create a simulator for a circuit with default configuration.
+    pub fn new(circuit: Circuit) -> Self {
+        Self {
+            circuit,
+            planner: PlannerConfig::default(),
+            executor: ExecutorConfig::default(),
+            last_stats: None,
+        }
+    }
+
+    /// Replace the planner configuration.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Replace the executor configuration.
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// The circuit being simulated.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Statistics of the most recent execution, if any.
+    pub fn last_stats(&self) -> Option<&ExecutionStats> {
+        self.last_stats.as_ref()
+    }
+
+    /// Build the plan for a given output without executing it (useful for
+    /// inspecting complexity, slicing sets and overheads).
+    pub fn plan(&self, output: &OutputSpec) -> SimulationPlan {
+        plan_simulation(&self.circuit, output, &self.planner)
+    }
+
+    /// Compute a single amplitude ⟨bits|C|0…0⟩.
+    pub fn amplitude(&mut self, bits: &[u8]) -> Complex64 {
+        let plan = self.plan(&OutputSpec::Amplitude(bits.to_vec()));
+        let (result, stats) = execute_plan(&plan, &self.executor);
+        self.last_stats = Some(stats);
+        result.scalar_value()
+    }
+
+    /// Compute the tensor of amplitudes over `open` qubits with the remaining
+    /// qubits fixed to `fixed` — the "correlated samples" workload. The
+    /// returned tensor's axes are ordered by ascending qubit id.
+    pub fn batch_amplitudes(&mut self, fixed: &[u8], open: &[usize]) -> DenseTensor<Complex64> {
+        let plan = self.plan(&OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() });
+        let (result, stats) = execute_plan(&plan, &self.executor);
+        self.last_stats = Some(stats);
+        // Order axes by qubit id.
+        let mut pairs = plan.build.open_indices.clone();
+        pairs.sort_by_key(|&(q, _)| q);
+        let order: IndexSet = pairs.iter().map(|&(_, id)| id).collect();
+        qtn_tensor::permute::permute_to_order(&result, &order)
+    }
+
+    /// Draw `count` correlated samples of the `open` qubits (with the other
+    /// qubits fixed to `fixed`) from the exact output distribution.
+    pub fn sample(
+        &mut self,
+        fixed: &[u8],
+        open: &[usize],
+        count: usize,
+        seed: u64,
+    ) -> Vec<Vec<u8>> {
+        let amplitudes = self.batch_amplitudes(fixed, open);
+        sample_bitstrings(&amplitudes, count, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtn_circuit::{Gate, RqcConfig};
+    use qtn_statevector::StateVector;
+
+    #[test]
+    fn amplitude_of_ghz_state() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1).push2(Gate::Cnot, 1, 2);
+        let mut sim = Simulator::new(c);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((sim.amplitude(&[0, 0, 0]) - qtn_tensor::c64(h, 0.0)).abs() < 1e-10);
+        assert!((sim.amplitude(&[1, 1, 1]) - qtn_tensor::c64(h, 0.0)).abs() < 1e-10);
+        assert!(sim.amplitude(&[1, 0, 1]).abs() < 1e-10);
+        assert!(sim.last_stats().is_some());
+    }
+
+    #[test]
+    fn batch_matches_statevector() {
+        let circuit = RqcConfig::small(2, 3, 6, 9).build();
+        let n = circuit.num_qubits();
+        let sv = StateVector::simulate(&circuit);
+        let mut sim = Simulator::new(circuit).with_planner(PlannerConfig {
+            target_rank: 8,
+            ..Default::default()
+        });
+        let open = vec![1usize, 3usize];
+        let batch = sim.batch_amplitudes(&vec![0; n], &open);
+        assert_eq!(batch.rank(), 2);
+        for b0 in 0..2u8 {
+            for b1 in 0..2u8 {
+                let mut bits = vec![0u8; n];
+                bits[open[0]] = b0;
+                bits[open[1]] = b1;
+                assert!((batch.get(&[b0, b1]) - sv.amplitude(&bits)).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_tracks_probabilities() {
+        // A Hadamard on one open qubit: both outcomes roughly equally likely.
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0);
+        let mut sim = Simulator::new(c);
+        let samples = sim.sample(&[0, 0], &[0], 2000, 7);
+        assert_eq!(samples.len(), 2000);
+        let ones = samples.iter().filter(|s| s[0] == 1).count();
+        assert!(ones > 800 && ones < 1200, "biased sampling: {ones}/2000");
+    }
+
+    #[test]
+    fn plan_can_be_inspected_without_execution() {
+        let circuit = RqcConfig::small(3, 3, 8, 10).build();
+        let n = circuit.num_qubits();
+        let sim = Simulator::new(circuit)
+            .with_planner(PlannerConfig { target_rank: 9, ..Default::default() });
+        let plan = sim.plan(&OutputSpec::Amplitude(vec![0; n]));
+        assert!(plan.log_cost > 0.0);
+        assert!(plan.num_subtasks() >= 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Lifetime-based slicing: the paper's core contribution.
+//!
+//! Slicing fixes the value of selected tensor-network edges so that every
+//! tensor containing a sliced edge loses one dimension; the `2^|S|`
+//! assignments of the sliced edges become independent subtasks whose results
+//! are accumulated at the end. Slicing is how the simulator fits Sycamore
+//! contractions into bounded memory, at the price of *slicing overhead*
+//! (redundant recomputation in every subtask of the contractions that do not
+//! involve the sliced edges).
+//!
+//! This crate implements:
+//!
+//! * [`lifetime`] — Definition 1: the lifetime of an edge is the set of
+//!   tensors (contraction-tree nodes / stem positions) whose index set
+//!   contains it;
+//! * [`overhead`] — Eq. (2) and Eq. (4): the sliced time complexity and the
+//!   overhead ratio of a slicing set;
+//! * [`finder`] — Algorithm 1: the lifetime-based slice finder that works
+//!   inward from the ends of the stem, always slicing the indices with the
+//!   longest lifetime;
+//! * [`refiner`] — Algorithm 2: the simulated-annealing slice refiner based
+//!   on critical tensors;
+//! * [`greedy`] — the cotengra-style greedy slicer used as the baseline in
+//!   Fig. 10;
+//! * [`dynamic`] — an Alibaba-style dynamic slicer that re-tunes the stem
+//!   order between slice picks (the related work the paper compares against);
+//! * [`theory`] — empirical checks of Theorem 1 used by the test-suite.
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod finder;
+pub mod greedy;
+pub mod lifetime;
+pub mod overhead;
+pub mod refiner;
+pub mod theory;
+
+pub use finder::lifetime_slice_finder;
+pub use greedy::greedy_slicer;
+pub use lifetime::{compute_lifetimes, Lifetime, LifetimeTable};
+pub use overhead::{
+    sliced_log_cost, sliced_max_rank, slicing_overhead, subtask_log_cost, SlicingPlan,
+};
+pub use refiner::{refine_slicing, RefinerConfig};

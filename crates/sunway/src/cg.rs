@@ -1,0 +1,298 @@
+//! Discrete-event simulation of one core group.
+//!
+//! The analytic [`crate::cost::CostModel`] answers "how long does this kernel
+//! take in total"; this module answers the finer question the fused design
+//! poses: with 64 CPEs issuing DMA transfers, RMA exchanges and compute
+//! phases, where does the time actually go and how much of it overlaps? The
+//! simulator executes a per-CPE list of phases against shared channel
+//! resources (the DMA engine and the RMA network are shared by the whole
+//! core group; compute is per-CPE) and produces a timeline plus per-resource
+//! busy times.
+//!
+//! It deliberately stays simple — FIFO channels, no contention back-off —
+//! because that is the level of fidelity the paper's own projections use;
+//! its value is in showing the *overlap structure* (e.g. double-buffered
+//! fused groups hiding DMA behind compute) that the purely additive cost
+//! model cannot express.
+
+use crate::arch::SunwayArch;
+
+/// One phase of work issued by a CPE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Phase {
+    /// Compute for the given number of flops.
+    Compute {
+        /// Floating point operations of this phase.
+        flops: f64,
+    },
+    /// DMA transfer of the given number of bytes (shared channel per CG).
+    Dma {
+        /// Bytes transferred between main memory and the LDM.
+        bytes: f64,
+        /// Transfer granularity in bytes (0 = contiguous).
+        granularity: f64,
+    },
+    /// RMA exchange of the given number of bytes (shared network per CG).
+    Rma {
+        /// Bytes exchanged with other CPEs of the core group.
+        bytes: f64,
+    },
+}
+
+/// The work list of one CPE: phases execute in order, each starting when its
+/// predecessor finished *and* the resource it needs becomes free.
+#[derive(Debug, Clone, Default)]
+pub struct CpeProgram {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl CpeProgram {
+    /// Append a compute phase.
+    pub fn compute(&mut self, flops: f64) -> &mut Self {
+        self.phases.push(Phase::Compute { flops });
+        self
+    }
+
+    /// Append a DMA phase.
+    pub fn dma(&mut self, bytes: f64, granularity: f64) -> &mut Self {
+        self.phases.push(Phase::Dma { bytes, granularity });
+        self
+    }
+
+    /// Append an RMA phase.
+    pub fn rma(&mut self, bytes: f64) -> &mut Self {
+        self.phases.push(Phase::Rma { bytes });
+        self
+    }
+}
+
+/// Result of simulating a core group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgTimeline {
+    /// Wall-clock makespan in seconds.
+    pub makespan: f64,
+    /// Total busy time of the (shared) DMA channel.
+    pub dma_busy: f64,
+    /// Total busy time of the (shared) RMA network.
+    pub rma_busy: f64,
+    /// Sum of per-CPE compute time.
+    pub compute_busy: f64,
+    /// Utilisation of the most loaded resource, busy / makespan.
+    pub bottleneck_utilisation: f64,
+}
+
+/// Simulate the execution of one program per CPE on a core group.
+///
+/// `programs.len()` must not exceed the CPE count; missing CPEs idle. The
+/// DMA engine and the RMA network are modelled as single shared FIFO
+/// resources with the architecture's bandwidth (DMA additionally derated by
+/// the granularity efficiency of `CostModel`); compute runs on each CPE at
+/// `peak_flops_per_cg / cpes_per_cg`.
+pub fn simulate_cg(arch: &SunwayArch, programs: &[CpeProgram]) -> CgTimeline {
+    assert!(
+        programs.len() <= arch.cpes_per_cg,
+        "more programs ({}) than CPEs ({})",
+        programs.len(),
+        arch.cpes_per_cg
+    );
+    let per_cpe_flops = arch.peak_flops_per_cg / arch.cpes_per_cg as f64;
+    let dma_eff = |g: f64| if g <= 0.0 { 1.0 } else { g / (g + 512.0) };
+
+    // Next-free times of the shared channels.
+    let mut dma_free = 0.0f64;
+    let mut rma_free = 0.0f64;
+    let mut dma_busy = 0.0f64;
+    let mut rma_busy = 0.0f64;
+    let mut compute_busy = 0.0f64;
+    let mut makespan = 0.0f64;
+
+    // Event-driven, but since each CPE's phases are sequential and channels
+    // are FIFO, a per-CPE forward pass with channel reservations in issue
+    // order is sufficient. Issue order: round-robin across CPEs, one phase
+    // at a time, which approximates the hardware's fair arbitration.
+    let mut cursors: Vec<usize> = vec![0; programs.len()];
+    let mut cpe_time: Vec<f64> = vec![0.0; programs.len()];
+    loop {
+        let mut progressed = false;
+        for (cpe, program) in programs.iter().enumerate() {
+            let i = cursors[cpe];
+            if i >= program.phases.len() {
+                continue;
+            }
+            progressed = true;
+            cursors[cpe] += 1;
+            let ready = cpe_time[cpe];
+            let finish = match program.phases[i] {
+                Phase::Compute { flops } => {
+                    let d = flops / per_cpe_flops;
+                    compute_busy += d;
+                    ready + d
+                }
+                Phase::Dma { bytes, granularity } => {
+                    let d = bytes / (arch.dma_bandwidth * dma_eff(granularity));
+                    let start = ready.max(dma_free);
+                    dma_free = start + d;
+                    dma_busy += d;
+                    start + d
+                }
+                Phase::Rma { bytes } => {
+                    let d = bytes / arch.rma_bandwidth;
+                    let start = ready.max(rma_free);
+                    rma_free = start + d;
+                    rma_busy += d;
+                    start + d
+                }
+            };
+            cpe_time[cpe] = finish;
+            makespan = makespan.max(finish);
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let bottleneck = [dma_busy, rma_busy, compute_busy / arch.cpes_per_cg as f64]
+        .into_iter()
+        .fold(0.0f64, f64::max);
+    CgTimeline {
+        makespan,
+        dma_busy,
+        rma_busy,
+        compute_busy,
+        bottleneck_utilisation: if makespan > 0.0 { bottleneck / makespan } else { 0.0 },
+    }
+}
+
+/// Build the per-CPE programs of a *step-by-step* contraction step on a core
+/// group: every CPE fetches its share of the operands, computes, and writes
+/// back, serially.
+pub fn step_by_step_programs(
+    arch: &SunwayArch,
+    total_bytes: f64,
+    total_flops: f64,
+    steps: usize,
+) -> Vec<CpeProgram> {
+    let cpes = arch.cpes_per_cg;
+    let mut programs = vec![CpeProgram::default(); cpes];
+    for program in programs.iter_mut() {
+        for _ in 0..steps {
+            program
+                .dma(total_bytes / cpes as f64 / steps as f64, 0.0)
+                .compute(total_flops / cpes as f64 / steps as f64)
+                .dma(total_bytes / cpes as f64 / steps as f64, 0.0);
+        }
+    }
+    programs
+}
+
+/// Build the per-CPE programs of a *fused* group: one DMA-get, all compute
+/// steps back to back (with an RMA rearrangement), one DMA-put.
+pub fn fused_programs(
+    arch: &SunwayArch,
+    total_bytes: f64,
+    total_flops: f64,
+    steps: usize,
+) -> Vec<CpeProgram> {
+    let cpes = arch.cpes_per_cg;
+    let mut programs = vec![CpeProgram::default(); cpes];
+    let _ = steps;
+    for program in programs.iter_mut() {
+        program
+            .dma(total_bytes / cpes as f64, 512.0)
+            .rma(total_bytes / cpes as f64)
+            .compute(total_flops / cpes as f64)
+            .dma(total_bytes / cpes as f64, 512.0);
+    }
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arch() -> SunwayArch {
+        SunwayArch::sw26010pro()
+    }
+
+    #[test]
+    fn empty_programs_take_no_time() {
+        let t = simulate_cg(&arch(), &[]);
+        assert_eq!(t.makespan, 0.0);
+        assert_eq!(t.bottleneck_utilisation, 0.0);
+    }
+
+    #[test]
+    fn single_compute_phase_duration() {
+        let a = arch();
+        let mut p = CpeProgram::default();
+        let per_cpe = a.peak_flops_per_cg / a.cpes_per_cg as f64;
+        p.compute(per_cpe); // exactly one second of work for one CPE
+        let t = simulate_cg(&a, &[p]);
+        assert!((t.makespan - 1.0).abs() < 1e-9);
+        assert!((t.compute_busy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dma_channel_is_shared() {
+        // Two CPEs each transferring B bytes through the shared channel take
+        // twice as long as one.
+        let a = arch();
+        let bytes = 1e9;
+        let mut p = CpeProgram::default();
+        p.dma(bytes, 0.0);
+        let one = simulate_cg(&a, &[p.clone()]);
+        let two = simulate_cg(&a, &[p.clone(), p]);
+        assert!((two.makespan / one.makespan - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compute_is_per_cpe_and_scales_out() {
+        // The same total flops split over more CPEs finishes faster.
+        let a = arch();
+        let per_cpe = a.peak_flops_per_cg / a.cpes_per_cg as f64;
+        let mut single = CpeProgram::default();
+        single.compute(4.0 * per_cpe);
+        let alone = simulate_cg(&a, &[single]);
+        let mut quarter = CpeProgram::default();
+        quarter.compute(per_cpe);
+        let spread = simulate_cg(&a, &vec![quarter; 4]);
+        assert!(alone.makespan > 3.9 * spread.makespan);
+    }
+
+    #[test]
+    fn fused_programs_beat_step_by_step() {
+        // Same data volume and flops: the fused schedule (one round trip,
+        // good granularity) must have a smaller makespan than the
+        // step-by-step one once the per-step DMA dominates.
+        let a = arch();
+        let bytes = 8.0 * (1u64 << 28) as f64; // rank-28 complex64 working set
+        let flops = 8.0 * (1u64 << 30) as f64;
+        let steps = 10;
+        let step = simulate_cg(&a, &step_by_step_programs(&a, bytes * steps as f64, flops, steps));
+        let fused = simulate_cg(&a, &fused_programs(&a, bytes, flops, steps));
+        assert!(
+            fused.makespan < step.makespan,
+            "fused {} vs step-by-step {}",
+            fused.makespan,
+            step.makespan
+        );
+    }
+
+    #[test]
+    fn bottleneck_utilisation_is_high_for_pure_dma() {
+        let a = arch();
+        let mut p = CpeProgram::default();
+        p.dma(1e9, 0.0);
+        let t = simulate_cg(&a, &vec![p; 8]);
+        assert!(t.bottleneck_utilisation > 0.9);
+        assert!(t.rma_busy == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more programs")]
+    fn too_many_programs_panics() {
+        let a = arch();
+        simulate_cg(&a, &vec![CpeProgram::default(); a.cpes_per_cg + 1]);
+    }
+}

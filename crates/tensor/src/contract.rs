@@ -1,0 +1,310 @@
+//! Pairwise tensor contraction via TTGT.
+//!
+//! A contraction of two tensors over their shared indices is lowered to
+//! matrix multiplication: both operands are permuted so that the contracted
+//! indices are contiguous (Transpose, Transpose), multiplied (GEMM), and the
+//! output inherits the free indices of both operands (no final transpose is
+//! needed because we choose the output axis order to be exactly what GEMM
+//! produces). This is the same fused TTGT strategy used by the 2021 Gordon
+//! Bell work on Sunway that the paper builds on.
+
+use crate::complex::Scalar;
+use crate::dense::DenseTensor;
+use crate::gemm::{gemm_auto, gemm_flops};
+use crate::index::{IndexId, IndexSet};
+use crate::permute::permute_to_order;
+
+/// A fully resolved plan for contracting a pair of tensors.
+///
+/// The spec is independent of the numeric data so it can be reused across
+/// all slice subtasks, which share identical shapes.
+#[derive(Debug, Clone)]
+pub struct ContractionSpec {
+    /// Free (kept) indices of the left operand, in output order.
+    pub left_free: Vec<IndexId>,
+    /// Free (kept) indices of the right operand, in output order.
+    pub right_free: Vec<IndexId>,
+    /// Indices summed over (shared by both operands).
+    pub contracted: Vec<IndexId>,
+    /// Index set of the output tensor: `left_free ++ right_free`.
+    pub output: IndexSet,
+}
+
+impl ContractionSpec {
+    /// Build the contraction spec for two index sets.
+    ///
+    /// Indices appearing in both operands are contracted; all others are
+    /// kept. Batch (hyper) indices are not supported: an index appears at
+    /// most once per operand by construction of [`IndexSet`].
+    pub fn new(left: &IndexSet, right: &IndexSet) -> Self {
+        let contracted = left.intersection(right);
+        let left_free = left.difference(right);
+        let right_free = right.difference(left);
+        let mut out = left_free.clone();
+        out.extend(right_free.iter().copied());
+        Self { left_free, right_free, contracted, output: IndexSet::new(out) }
+    }
+
+    /// GEMM shape `(m, n, k)` implied by this spec.
+    pub fn gemm_shape(&self) -> (usize, usize, usize) {
+        (
+            1usize << self.left_free.len(),
+            1usize << self.right_free.len(),
+            1usize << self.contracted.len(),
+        )
+    }
+
+    /// Real floating point operations performed by this contraction.
+    pub fn flops(&self) -> u64 {
+        let (m, n, k) = self.gemm_shape();
+        gemm_flops(m, n, k)
+    }
+
+    /// Number of complex elements moved if both inputs are read and the
+    /// output written exactly once (used for arithmetic-intensity modelling).
+    pub fn elements_moved(&self) -> u64 {
+        let (m, n, k) = self.gemm_shape();
+        (m * k + k * n + m * n) as u64
+    }
+}
+
+/// Contract two tensors over all indices they share.
+///
+/// Returns a tensor whose axes are the left operand's free indices followed
+/// by the right operand's free indices. If no indices are shared this is an
+/// outer product; if all indices are shared the result is a scalar
+/// (rank-0 tensor).
+pub fn contract_pair<T: Scalar>(
+    left: &DenseTensor<T>,
+    right: &DenseTensor<T>,
+) -> DenseTensor<T> {
+    let spec = ContractionSpec::new(left.indices(), right.indices());
+    contract_pair_with_spec(left, right, &spec)
+}
+
+/// Contract two tensors using a precomputed [`ContractionSpec`].
+pub fn contract_pair_with_spec<T: Scalar>(
+    left: &DenseTensor<T>,
+    right: &DenseTensor<T>,
+    spec: &ContractionSpec,
+) -> DenseTensor<T> {
+    // Permute left to [left_free..., contracted...] and right to
+    // [contracted..., right_free...], then a single GEMM yields the output
+    // in [left_free..., right_free...] order directly.
+    let left_order: IndexSet = spec
+        .left_free
+        .iter()
+        .chain(spec.contracted.iter())
+        .copied()
+        .collect();
+    let right_order: IndexSet = spec
+        .contracted
+        .iter()
+        .chain(spec.right_free.iter())
+        .copied()
+        .collect();
+
+    let lp = permute_to_order(left, &left_order);
+    let rp = permute_to_order(right, &right_order);
+
+    let (m, n, k) = spec.gemm_shape();
+    let mut out = DenseTensor::zeros(spec.output.clone());
+    gemm_auto(lp.data(), rp.data(), out.data_mut(), m, n, k);
+    out
+}
+
+/// Contract a whole list of tensors sequentially in the given pairwise order.
+///
+/// `order` is a list of `(i, j)` positions into the evolving tensor list:
+/// at each step tensors `i` and `j` are removed and their contraction is
+/// appended. Used by tests and by the reference (un-sliced) executor.
+pub fn contract_sequence<T: Scalar>(
+    tensors: Vec<DenseTensor<T>>,
+    order: &[(usize, usize)],
+) -> DenseTensor<T> {
+    let mut slots: Vec<Option<DenseTensor<T>>> = tensors.into_iter().map(Some).collect();
+    let mut last = None;
+    for &(i, j) in order {
+        let a = slots[i].take().expect("tensor already consumed");
+        let b = slots[j].take().expect("tensor already consumed");
+        let c = contract_pair(&a, &b);
+        slots.push(Some(c));
+        last = Some(slots.len() - 1);
+    }
+    let idx = last.expect("empty contraction order");
+    slots[idx].take().expect("result missing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, Complex64};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(rng: &mut StdRng, axes: Vec<IndexId>) -> DenseTensor<Complex64> {
+        let idx = IndexSet::new(axes);
+        let data = (0..idx.len())
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        DenseTensor::from_data(idx, data)
+    }
+
+    /// Naive contraction by explicit summation, used as the oracle.
+    fn contract_naive(
+        a: &DenseTensor<Complex64>,
+        b: &DenseTensor<Complex64>,
+    ) -> DenseTensor<Complex64> {
+        let spec = ContractionSpec::new(a.indices(), b.indices());
+        let mut out = DenseTensor::zeros(spec.output.clone());
+        let out_rank = out.rank();
+        let c_rank = spec.contracted.len();
+        for out_off in 0..out.len() {
+            let out_bits = crate::index::unravel(out_off, out_rank);
+            let mut acc = Complex64::ZERO;
+            for s in 0..(1usize << c_rank) {
+                let s_bits = crate::index::unravel(s, c_rank);
+                // Assemble the multi-index of a and b.
+                let a_bits: Vec<u8> = a
+                    .indices()
+                    .iter()
+                    .map(|id| {
+                        if let Some(p) = spec.contracted.iter().position(|&c| c == id) {
+                            s_bits[p]
+                        } else {
+                            let p = spec.output.position(id).unwrap();
+                            out_bits[p]
+                        }
+                    })
+                    .collect();
+                let b_bits: Vec<u8> = b
+                    .indices()
+                    .iter()
+                    .map(|id| {
+                        if let Some(p) = spec.contracted.iter().position(|&c| c == id) {
+                            s_bits[p]
+                        } else {
+                            let p = spec.output.position(id).unwrap();
+                            out_bits[p]
+                        }
+                    })
+                    .collect();
+                acc += a.get(&a_bits) * b.get(&b_bits);
+            }
+            out.data_mut()[out_off] = acc;
+        }
+        out
+    }
+
+    fn assert_tensor_close(a: &DenseTensor<Complex64>, b: &DenseTensor<Complex64>) {
+        assert_eq!(a.indices(), b.indices());
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((*x - *y).abs() < 1e-9, "mismatch {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn spec_identifies_contracted_indices() {
+        let a = IndexSet::new(vec![0, 1, 2]);
+        let b = IndexSet::new(vec![2, 3]);
+        let spec = ContractionSpec::new(&a, &b);
+        assert_eq!(spec.contracted, vec![2]);
+        assert_eq!(spec.left_free, vec![0, 1]);
+        assert_eq!(spec.right_free, vec![3]);
+        assert_eq!(spec.output.axes(), &[0, 1, 3]);
+        assert_eq!(spec.gemm_shape(), (4, 2, 2));
+        assert_eq!(spec.flops(), 8 * 4 * 2 * 2);
+    }
+
+    #[test]
+    fn matrix_product_as_contraction() {
+        // A[i,k] * B[k,j] = C[i,j]
+        let a = DenseTensor::from_data(
+            IndexSet::new(vec![0, 1]),
+            vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0), c64(4.0, 0.0)],
+        );
+        let b = DenseTensor::from_data(
+            IndexSet::new(vec![1, 2]),
+            vec![c64(5.0, 0.0), c64(6.0, 0.0), c64(7.0, 0.0), c64(8.0, 0.0)],
+        );
+        let c = contract_pair(&a, &b);
+        assert_eq!(c.indices().axes(), &[0, 2]);
+        assert_eq!(c.get(&[0, 0]), c64(19.0, 0.0));
+        assert_eq!(c.get(&[0, 1]), c64(22.0, 0.0));
+        assert_eq!(c.get(&[1, 0]), c64(43.0, 0.0));
+        assert_eq!(c.get(&[1, 1]), c64(50.0, 0.0));
+    }
+
+    #[test]
+    fn outer_product() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = random_tensor(&mut rng, vec![0, 1]);
+        let b = random_tensor(&mut rng, vec![2]);
+        let c = contract_pair(&a, &b);
+        assert_eq!(c.rank(), 3);
+        assert_tensor_close(&c, &contract_naive(&a, &b));
+    }
+
+    #[test]
+    fn full_contraction_to_scalar() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = random_tensor(&mut rng, vec![0, 1, 2]);
+        let b = random_tensor(&mut rng, vec![0, 1, 2]);
+        let c = contract_pair(&a, &b);
+        assert_eq!(c.rank(), 0);
+        assert_tensor_close(&c, &contract_naive(&a, &b));
+    }
+
+    #[test]
+    fn random_contractions_match_naive() {
+        let mut rng = StdRng::seed_from_u64(13);
+        // Various overlap patterns.
+        let cases: Vec<(Vec<IndexId>, Vec<IndexId>)> = vec![
+            (vec![0, 1, 2, 3], vec![2, 3, 4, 5]),
+            (vec![0, 1, 2, 3, 4], vec![4, 5]),
+            (vec![7, 3, 5], vec![5, 3, 9, 11]),
+            (vec![0, 1], vec![1, 0]),
+            (vec![2, 4, 6, 8, 10], vec![10, 8, 12]),
+        ];
+        for (la, lb) in cases {
+            let a = random_tensor(&mut rng, la);
+            let b = random_tensor(&mut rng, lb);
+            let fast = contract_pair(&a, &b);
+            let slow = contract_naive(&a, &b);
+            assert_tensor_close(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn contraction_is_commutative_up_to_axis_order() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let a = random_tensor(&mut rng, vec![0, 1, 2]);
+        let b = random_tensor(&mut rng, vec![2, 3]);
+        let ab = contract_pair(&a, &b);
+        let ba = contract_pair(&b, &a);
+        // Same values, different axis order.
+        let ba_reordered = crate::permute::permute_to_order(&ba, ab.indices());
+        assert_tensor_close(&ab, &ba_reordered);
+    }
+
+    #[test]
+    fn contract_sequence_small_network() {
+        // Chain: T0[0,1] - T1[1,2] - T2[2,3]; contract (0,1) then with T2.
+        let mut rng = StdRng::seed_from_u64(15);
+        let t0 = random_tensor(&mut rng, vec![0, 1]);
+        let t1 = random_tensor(&mut rng, vec![1, 2]);
+        let t2 = random_tensor(&mut rng, vec![2, 3]);
+        let direct = contract_pair(&contract_pair(&t0, &t1), &t2);
+        let seq = contract_sequence(vec![t0, t1, t2], &[(0, 1), (3, 2)]);
+        assert_tensor_close(&seq, &direct);
+    }
+
+    #[test]
+    fn elements_moved_accounting() {
+        let a = IndexSet::new(vec![0, 1, 2]);
+        let b = IndexSet::new(vec![2, 3]);
+        let spec = ContractionSpec::new(&a, &b);
+        // m=4, n=2, k=2 -> 8 + 4 + 8 = 20
+        assert_eq!(spec.elements_moved(), 20);
+    }
+}

@@ -1,0 +1,88 @@
+//! Precision conversion.
+//!
+//! The paper reports *single-precision* sustained performance (308.6 Pflops)
+//! while verification work is naturally done in double precision. The
+//! contraction, GEMM and permutation kernels in this crate are generic over
+//! [`Scalar`], so both precisions are first-class; these helpers convert
+//! tensors between them so a double-precision plan can be executed in single
+//! precision (and its result promoted back for comparison).
+
+use crate::complex::{Complex32, Complex64};
+use crate::dense::DenseTensor;
+
+/// Convert a double-precision tensor to single precision.
+pub fn to_single(t: &DenseTensor<Complex64>) -> DenseTensor<Complex32> {
+    DenseTensor::from_data(
+        t.indices().clone(),
+        t.data().iter().map(|&z| Complex32::from(z)).collect(),
+    )
+}
+
+/// Convert a single-precision tensor to double precision.
+pub fn to_double(t: &DenseTensor<Complex32>) -> DenseTensor<Complex64> {
+    DenseTensor::from_data(
+        t.indices().clone(),
+        t.data().iter().map(|&z| Complex64::from(z)).collect(),
+    )
+}
+
+/// Largest absolute element-wise difference between a double-precision
+/// tensor and a single-precision one (promoted for the comparison). The
+/// tensors must have identical index sets.
+pub fn max_abs_difference(a: &DenseTensor<Complex64>, b: &DenseTensor<Complex32>) -> f64 {
+    assert_eq!(a.indices(), b.indices(), "index sets differ");
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| (x - Complex64::from(y)).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::contract::contract_pair;
+    use crate::index::IndexSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(seed: u64, axes: Vec<u32>) -> DenseTensor<Complex64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx = IndexSet::new(axes);
+        let data = (0..idx.len())
+            .map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        DenseTensor::from_data(idx, data)
+    }
+
+    #[test]
+    fn roundtrip_is_close() {
+        let t = random_tensor(1, vec![0, 1, 2, 3]);
+        let back = to_double(&to_single(&t));
+        for (a, b) in t.data().iter().zip(back.data().iter()) {
+            assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_precision_contraction_tracks_double() {
+        // The same contraction performed in both precisions agrees to the
+        // single-precision rounding level.
+        let a64 = random_tensor(2, vec![0, 1, 2, 3, 4]);
+        let b64 = random_tensor(3, vec![3, 4, 5, 6]);
+        let c64_result = contract_pair(&a64, &b64);
+        let c32_result = contract_pair(&to_single(&a64), &to_single(&b64));
+        let diff = max_abs_difference(&c64_result, &c32_result);
+        assert!(diff < 1e-4, "single/double contraction differ by {diff}");
+        assert!(diff > 0.0, "suspiciously exact agreement");
+    }
+
+    #[test]
+    #[should_panic(expected = "index sets differ")]
+    fn mismatched_indices_panic() {
+        let a = random_tensor(4, vec![0, 1]);
+        let b = to_single(&random_tensor(5, vec![2, 3]));
+        max_abs_difference(&a, &b);
+    }
+}

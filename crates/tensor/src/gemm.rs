@@ -1,0 +1,298 @@
+//! Complex matrix multiplication kernels.
+//!
+//! Tensor contraction is lowered to GEMM (`C = A * B`) after the TTGT
+//! permutations. Two paths are provided, mirroring the discussion in §5.1 of
+//! the paper:
+//!
+//! * [`gemm`] — a cache-blocked kernel with a 4×4 register micro-kernel,
+//!   effective for square-ish shapes;
+//! * [`gemm_narrow`] — a simple streaming kernel for the *narrow* shapes
+//!   (two of `m`, `n`, `k` ≤ 16) that dominate quantum-circuit contractions
+//!   and are bandwidth- rather than compute-bound.
+//!
+//! [`gemm_auto`] dispatches between them and is what the contraction layer
+//! calls. All kernels accumulate into `C` (i.e. compute `C += A * B`), so
+//! callers zero `C` when a plain product is wanted — accumulation is exactly
+//! what slice subtask reduction needs.
+
+use crate::complex::Scalar;
+
+/// Threshold below which a dimension counts as "narrow" (paper: two of
+/// m, n, k less than 16 make GEMM bandwidth bound).
+pub const NARROW_DIM: usize = 16;
+
+/// Cache block sizes for the blocked kernel. Tuned for a 256 KB working set
+/// (the LDM size of an SW26010pro CPE) with double-precision complex data.
+const BLOCK_M: usize = 64;
+const BLOCK_N: usize = 64;
+const BLOCK_K: usize = 64;
+
+/// Count of real floating point operations for a complex GEMM of the given
+/// shape: each complex multiply-add is 8 real flops (4 mul + 4 add).
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    8 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Returns true if this shape should use the narrow-matrix path.
+pub fn is_narrow(m: usize, n: usize, k: usize) -> bool {
+    let mut small = 0;
+    for d in [m, n, k] {
+        if d <= NARROW_DIM {
+            small += 1;
+        }
+    }
+    small >= 2
+}
+
+/// `C += A * B` with `A` of shape `m x k`, `B` of shape `k x n`, `C` of shape
+/// `m x n`, all row-major.
+///
+/// Dispatches to the narrow or blocked kernel based on the shape.
+pub fn gemm_auto<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+    if is_narrow(m, n, k) {
+        gemm_narrow(a, b, c, m, n, k);
+    } else {
+        gemm(a, b, c, m, n, k);
+    }
+}
+
+fn check_shapes<T>(a: &[T], b: &[T], c: &[T], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "A has wrong length");
+    assert_eq!(b.len(), k * n, "B has wrong length");
+    assert_eq!(c.len(), m * n, "C has wrong length");
+}
+
+/// Streaming kernel for narrow shapes: plain triple loop ordered for
+/// sequential access of `B` and `C`.
+pub fn gemm_narrow<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+    check_shapes(a, b, c, m, n, k);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_ij, &b_pj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Cache-blocked kernel with a 4×4 micro-kernel, `C += A * B`.
+pub fn gemm<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+    check_shapes(a, b, c, m, n, k);
+    let mut i0 = 0;
+    while i0 < m {
+        let ib = BLOCK_M.min(m - i0);
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = BLOCK_K.min(k - p0);
+            let mut j0 = 0;
+            while j0 < n {
+                let jb = BLOCK_N.min(n - j0);
+                block_kernel(a, b, c, m, n, k, i0, j0, p0, ib, jb, pb);
+                j0 += BLOCK_N;
+            }
+            p0 += BLOCK_K;
+        }
+        i0 += BLOCK_M;
+    }
+}
+
+/// Multiply one cache block, using a 4x4 register tile in the interior.
+#[allow(clippy::too_many_arguments)]
+fn block_kernel<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    _m: usize,
+    n: usize,
+    k: usize,
+    i0: usize,
+    j0: usize,
+    p0: usize,
+    ib: usize,
+    jb: usize,
+    pb: usize,
+) {
+    let full_i = ib / 4 * 4;
+    let full_j = jb / 4 * 4;
+
+    // 4x4 register-tiled interior.
+    let mut i = 0;
+    while i < full_i {
+        let mut j = 0;
+        while j < full_j {
+            let mut acc = [[T::zero(); 4]; 4];
+            for p in 0..pb {
+                let arow = p0 + p;
+                let a0 = a[(i0 + i) * k + arow];
+                let a1 = a[(i0 + i + 1) * k + arow];
+                let a2 = a[(i0 + i + 2) * k + arow];
+                let a3 = a[(i0 + i + 3) * k + arow];
+                let bbase = arow * n + j0 + j;
+                let b0 = b[bbase];
+                let b1 = b[bbase + 1];
+                let b2 = b[bbase + 2];
+                let b3 = b[bbase + 3];
+                acc[0][0] += a0 * b0;
+                acc[0][1] += a0 * b1;
+                acc[0][2] += a0 * b2;
+                acc[0][3] += a0 * b3;
+                acc[1][0] += a1 * b0;
+                acc[1][1] += a1 * b1;
+                acc[1][2] += a1 * b2;
+                acc[1][3] += a1 * b3;
+                acc[2][0] += a2 * b0;
+                acc[2][1] += a2 * b1;
+                acc[2][2] += a2 * b2;
+                acc[2][3] += a2 * b3;
+                acc[3][0] += a3 * b0;
+                acc[3][1] += a3 * b1;
+                acc[3][2] += a3 * b2;
+                acc[3][3] += a3 * b3;
+            }
+            for (di, row) in acc.iter().enumerate() {
+                let cbase = (i0 + i + di) * n + j0 + j;
+                for (dj, &v) in row.iter().enumerate() {
+                    c[cbase + dj] += v;
+                }
+            }
+            j += 4;
+        }
+        // Remainder columns of the tiled rows.
+        for jj in full_j..jb {
+            for di in 0..4 {
+                let mut acc = T::zero();
+                for p in 0..pb {
+                    acc += a[(i0 + i + di) * k + p0 + p] * b[(p0 + p) * n + j0 + jj];
+                }
+                c[(i0 + i + di) * n + j0 + jj] += acc;
+            }
+        }
+        i += 4;
+    }
+    // Remainder rows.
+    for ii in full_i..ib {
+        for jj in 0..jb {
+            let mut acc = T::zero();
+            for p in 0..pb {
+                acc += a[(i0 + ii) * k + p0 + p] * b[(p0 + p) * n + j0 + jj];
+            }
+            c[(i0 + ii) * n + j0 + jj] += acc;
+        }
+    }
+}
+
+/// Reference kernel (naive triple loop) used by tests and kept public so the
+/// benchmark harness can measure the speedup of the optimised paths.
+pub fn gemm_reference<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    check_shapes(a, b, c, m, n, k);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::zero();
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, Complex64};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<Complex64> {
+        (0..len).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    fn assert_close(a: &[Complex64], b: &[Complex64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((*x - *y).abs() < 1e-9, "mismatch: {x:?} vs {y:?}");
+        }
+    }
+
+    fn check_against_reference(m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let mut c_ref = vec![Complex64::ZERO; m * n];
+        let mut c_blk = vec![Complex64::ZERO; m * n];
+        let mut c_nar = vec![Complex64::ZERO; m * n];
+        let mut c_auto = vec![Complex64::ZERO; m * n];
+        gemm_reference(&a, &b, &mut c_ref, m, n, k);
+        gemm(&a, &b, &mut c_blk, m, n, k);
+        gemm_narrow(&a, &b, &mut c_nar, m, n, k);
+        gemm_auto(&a, &b, &mut c_auto, m, n, k);
+        assert_close(&c_blk, &c_ref);
+        assert_close(&c_nar, &c_ref);
+        assert_close(&c_auto, &c_ref);
+    }
+
+    #[test]
+    fn small_square() {
+        check_against_reference(8, 8, 8, 1);
+    }
+
+    #[test]
+    fn non_multiple_of_tile() {
+        check_against_reference(7, 5, 9, 2);
+        check_against_reference(13, 17, 3, 3);
+    }
+
+    #[test]
+    fn larger_than_block() {
+        check_against_reference(96, 80, 72, 4);
+    }
+
+    #[test]
+    fn narrow_shapes() {
+        check_against_reference(128, 4, 2, 5);
+        check_against_reference(2, 256, 4, 6);
+        check_against_reference(1, 1, 1024, 7);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        check_against_reference(1, 1, 1, 8);
+        check_against_reference(1, 64, 64, 9);
+    }
+
+    #[test]
+    fn accumulation_semantics() {
+        let a = vec![Complex64::ONE; 4]; // 2x2 ones
+        let b = vec![Complex64::ONE; 4];
+        let mut c = vec![c64(1.0, 0.0); 4];
+        gemm_auto(&a, &b, &mut c, 2, 2, 2);
+        // C was 1 everywhere, A*B = 2 everywhere -> 3.
+        for &v in &c {
+            assert_eq!(v, c64(3.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn narrow_detection() {
+        assert!(is_narrow(1024, 4, 2));
+        assert!(is_narrow(8, 8, 1024));
+        assert!(!is_narrow(64, 64, 64));
+        assert!(!is_narrow(1024, 17, 1024));
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 8 * 24);
+        assert_eq!(gemm_flops(0, 3, 4), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Dense complex tensor substrate for the qtnsim tensor-network simulator.
+//!
+//! This crate provides the numeric building blocks used by every layer above
+//! it: complex scalar types, dense tensors whose bond dimensions are all 2
+//! (qubit tensor networks), tensor permutation kernels (including the
+//! recursion-formula reduced permutation map from §5.3.1 of the paper),
+//! blocked complex GEMM with a dedicated narrow-matrix path, and the
+//! Transpose-Transpose-GEMM-Transpose (TTGT) pairwise contraction that the
+//! higher-level contraction engine is built on.
+//!
+//! No external BLAS or complex-number crates are used: everything needed by
+//! the simulator is implemented here so the workspace builds offline.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod contract;
+pub mod convert;
+pub mod dense;
+pub mod gemm;
+pub mod index;
+pub mod permute;
+
+pub use complex::{c32, c64, Complex32, Complex64, Scalar};
+pub use convert::{to_double, to_single};
+pub use contract::{contract_pair, ContractionSpec};
+pub use dense::DenseTensor;
+pub use index::{IndexId, IndexSet};
+pub use permute::{permute, permute_into, PermutePlan};

@@ -1,0 +1,30 @@
+//! Tensor-network graphs, contraction trees and contraction-path search.
+//!
+//! This crate implements the structural layer of the simulator, mirroring the
+//! notation of §2.1.1 of the paper: a tensor network is an undirected graph
+//! `G = (V, E)` whose vertices are tensors and whose edges are shared
+//! dimensions (all of weight 2 for qubit networks). A contraction order is
+//! represented as a rooted binary [`ContractionTree`]; its time complexity is
+//! Eq. (1) of the paper and its space cost is the largest intermediate
+//! tensor. Path finders (greedy and recursive partitioning, standing in for
+//! cotengra's hyper-optimised search) produce contraction trees, and the stem
+//! extractor identifies the computationally intensive backbone on which the
+//! slicing machinery of `qtn-slicing` operates.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod graph;
+pub mod path;
+pub mod refine;
+pub mod simplify;
+pub mod stem;
+pub mod tree;
+
+pub use cost::{log2_add, log2_sum, LogCost};
+pub use graph::TensorNetwork;
+pub use path::{greedy_path, partition_path, random_greedy_paths, PathConfig};
+pub use refine::{refine_path, RefineObjective, RefineReport};
+pub use simplify::simplify_network;
+pub use stem::{extract_stem, Stem, StemStep};
+pub use tree::{ContractionTree, TreeNode};

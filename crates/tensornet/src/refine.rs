@@ -1,0 +1,342 @@
+//! Adaptive contraction-path refinement.
+//!
+//! The third contribution listed in the paper's abstract is "an adaptive
+//! tensor network contraction path refiner customized for Sunway
+//! architecture": after a path is found, its contraction tree is locally
+//! re-arranged so that (a) the total time complexity does not increase and
+//! (b) the structure suits the fused thread-level execution — a long stem of
+//! narrow absorptions whose working set fits the LDM hierarchy, rather than
+//! balanced sub-trees that force large intermediate operands through main
+//! memory at every step.
+//!
+//! The refiner applies *subtree rotations*: for an internal node `p` with
+//! children `(c, z)` where `c = (x, y)` is itself internal, the contraction
+//! `((x, y), z)` can be re-associated to `((x, z), y)` or `((y, z), x)`
+//! without changing the result. Each proposed rotation is scored either by
+//! pure time complexity ([`RefineObjective::Cost`]) or by an
+//! architecture-aware mix that also rewards stem-friendliness
+//! ([`RefineObjective::SunwayAdaptive`]), and accepted greedily until a full
+//! sweep makes no further progress.
+
+use crate::cost::{log2_add, LogCost};
+use crate::tree::ContractionTree;
+use qtn_tensor::IndexId;
+
+/// What the refiner optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineObjective {
+    /// Minimise the total time complexity (Eq. 1) only.
+    Cost,
+    /// Minimise time complexity, breaking ties in favour of configurations
+    /// whose absorbed operand is small enough for the LDM (rank ≤ the given
+    /// bound) — the shape the fused kernels want.
+    SunwayAdaptive {
+        /// LDM rank bound (13 on the SW26010pro).
+        ldm_rank: usize,
+    },
+}
+
+/// Statistics of one refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineReport {
+    /// log2 of the total cost before refinement.
+    pub cost_before: LogCost,
+    /// log2 of the total cost after refinement.
+    pub cost_after: LogCost,
+    /// Number of rotations applied.
+    pub rotations: usize,
+    /// Number of full sweeps performed.
+    pub sweeps: usize,
+}
+
+/// A mutable, pair-list representation of a contraction tree that supports
+/// local re-association. Internally the tree is stored as, for every
+/// internal node, the pair of child ids; leaves keep their original index
+/// sets.
+struct MutableTree {
+    /// Per-node indices (leaves fixed, internal recomputed on demand).
+    indices: Vec<Vec<IndexId>>,
+    /// Per-node children (None for leaves).
+    children: Vec<Option<(usize, usize)>>,
+    root: usize,
+}
+
+impl MutableTree {
+    fn from_tree(tree: &ContractionTree) -> Self {
+        let nodes = tree.nodes();
+        Self {
+            indices: nodes.iter().map(|n| n.indices.clone()).collect(),
+            children: nodes.iter().map(|n| n.children).collect(),
+            root: tree.root(),
+        }
+    }
+
+    fn is_leaf(&self, n: usize) -> bool {
+        self.children[n].is_none()
+    }
+
+    /// Recompute the index set of an internal node from its children
+    /// (symmetric difference, matching `TensorNetwork::contract`).
+    fn recompute(&mut self, n: usize) {
+        if let Some((l, r)) = self.children[n] {
+            let li = &self.indices[l];
+            let ri = &self.indices[r];
+            let mut out: Vec<IndexId> =
+                li.iter().copied().filter(|e| !ri.contains(e)).collect();
+            out.extend(ri.iter().copied().filter(|e| !li.contains(e)));
+            out.sort_unstable();
+            self.indices[n] = out;
+        }
+    }
+
+    /// Recompute every internal node bottom-up (children of `n` first).
+    fn recompute_subtree(&mut self, n: usize) {
+        if let Some((l, r)) = self.children[n] {
+            self.recompute_subtree(l);
+            self.recompute_subtree(r);
+            self.recompute(n);
+        }
+    }
+
+    fn node_log_cost(&self, n: usize) -> LogCost {
+        match self.children[n] {
+            None => f64::NEG_INFINITY,
+            Some((l, r)) => {
+                let li = &self.indices[l];
+                let ri = &self.indices[r];
+                let union = li.len() + ri.iter().filter(|e| !li.contains(e)).count();
+                union as LogCost
+            }
+        }
+    }
+
+    fn total_log_cost(&self) -> LogCost {
+        (0..self.children.len())
+            .filter(|&n| !self.is_leaf(n))
+            .fold(f64::NEG_INFINITY, |acc, n| log2_add(acc, self.node_log_cost(n)))
+    }
+
+    /// log2 cost of the two nodes a rotation affects (`p` and its internal
+    /// child `c`).
+    fn local_cost(&self, p: usize, c: usize) -> LogCost {
+        log2_add(self.node_log_cost(p), self.node_log_cost(c))
+    }
+
+    /// Penalty used by the Sunway-adaptive objective: for the two affected
+    /// contractions, count operands whose rank exceeds the LDM bound (those
+    /// force main-memory round trips in the fused design).
+    fn ldm_penalty(&self, p: usize, c: usize, ldm_rank: usize) -> usize {
+        let mut penalty = 0;
+        for n in [p, c] {
+            if let Some((l, r)) = self.children[n] {
+                // The smaller operand is the one the fused kernel streams;
+                // penalise when even the smaller one exceeds the LDM.
+                let small = self.indices[l].len().min(self.indices[r].len());
+                if small > ldm_rank {
+                    penalty += 1;
+                }
+            }
+        }
+        penalty
+    }
+
+    /// Extract the contraction pair list (in the SSA numbering of the
+    /// original network) by emitting internal nodes children-before-parents.
+    fn to_pairs(&self, original_leaf_vertex: &[Option<usize>]) -> Vec<(usize, usize)> {
+        // Map tree node -> SSA vertex id. Leaves map to their original
+        // vertex; internal nodes are assigned new ids in emission order.
+        let mut vertex_of: Vec<Option<usize>> = original_leaf_vertex.to_vec();
+        let num_leaves = vertex_of.iter().filter(|v| v.is_some()).count();
+        let mut next_vertex = num_leaves;
+        let mut pairs = Vec::new();
+        // Post-order traversal from the root.
+        let mut stack = vec![(self.root, false)];
+        while let Some((n, expanded)) = stack.pop() {
+            match self.children[n] {
+                None => {}
+                Some((l, r)) => {
+                    if expanded {
+                        let lv = vertex_of[l].expect("child emitted before parent");
+                        let rv = vertex_of[r].expect("child emitted before parent");
+                        pairs.push((lv, rv));
+                        vertex_of[n] = Some(next_vertex);
+                        next_vertex += 1;
+                    } else {
+                        stack.push((n, true));
+                        stack.push((l, false));
+                        stack.push((r, false));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Refine a contraction tree by greedy subtree rotations.
+///
+/// Returns the refined pair list (usable with
+/// [`ContractionTree::from_pairs`] on the same network) and a report. The
+/// refined tree's total cost is never worse than the input's.
+pub fn refine_path(
+    tree: &ContractionTree,
+    objective: RefineObjective,
+    max_sweeps: usize,
+) -> (Vec<(usize, usize)>, RefineReport) {
+    let mut t = MutableTree::from_tree(tree);
+    let cost_before = t.total_log_cost();
+    let mut rotations = 0;
+    let mut sweeps = 0;
+
+    for _ in 0..max_sweeps {
+        sweeps += 1;
+        let mut progressed = false;
+        for p in 0..t.children.len() {
+            let Some((c, z)) = t.children[p] else { continue };
+            // Try rotations with either child playing the internal role.
+            for (internal, other) in [(c, z), (z, c)] {
+                if t.is_leaf(internal) {
+                    continue;
+                }
+                let (x, y) = t.children[internal].unwrap();
+                let before_local = t.local_cost(p, internal);
+                let before_penalty = match objective {
+                    RefineObjective::Cost => 0,
+                    RefineObjective::SunwayAdaptive { ldm_rank } => {
+                        t.ldm_penalty(p, internal, ldm_rank)
+                    }
+                };
+                // Candidate re-associations: ((x,other),y) and ((y,other),x).
+                let mut best: Option<(f64, usize, (usize, usize), (usize, usize))> = None;
+                for (a, b) in [(x, y), (y, x)] {
+                    // internal := (a, other); p := (internal, b)
+                    t.children[internal] = Some((a, other));
+                    t.children[p] = Some((internal, b));
+                    t.recompute(internal);
+                    t.recompute(p);
+                    let local = t.local_cost(p, internal);
+                    let penalty = match objective {
+                        RefineObjective::Cost => 0,
+                        RefineObjective::SunwayAdaptive { ldm_rank } => {
+                            t.ldm_penalty(p, internal, ldm_rank)
+                        }
+                    };
+                    let improves = local < before_local - 1e-12
+                        || (local < before_local + 1e-12 && penalty < before_penalty);
+                    if improves
+                        && best
+                            .map(|(bl, _, _, _)| local < bl)
+                            .unwrap_or(true)
+                    {
+                        best = Some((local, internal, (a, other), (internal, b)));
+                    }
+                }
+                match best {
+                    Some((_, int_node, int_children, p_children)) => {
+                        t.children[int_node] = Some(int_children);
+                        t.children[p] = Some(p_children);
+                        t.recompute(int_node);
+                        t.recompute(p);
+                        // Ancestors' index sets may change; recompute the
+                        // whole tree (cheap relative to the search).
+                        t.recompute_subtree(t.root);
+                        rotations += 1;
+                        progressed = true;
+                    }
+                    None => {
+                        // Restore the original configuration.
+                        t.children[internal] = Some((x, y));
+                        t.children[p] = Some((internal, other));
+                        t.recompute(internal);
+                        t.recompute(p);
+                    }
+                }
+                break; // only consider the first internal child arrangement per node per sweep
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let cost_after = t.total_log_cost();
+    let leaf_vertices: Vec<Option<usize>> =
+        tree.nodes().iter().map(|n| n.leaf_vertex).collect();
+    let pairs = t.to_pairs(&leaf_vertices);
+    (pairs, RefineReport { cost_before, cost_after, rotations, sweeps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorNetwork;
+    use crate::path::{greedy_path, PathConfig};
+    use crate::simplify::simplify_network;
+    use qtn_circuit::{circuit_to_network, OutputSpec, RqcConfig};
+
+    fn planned(rows: usize, cols: usize, cycles: usize, seed: u64) -> (TensorNetwork, ContractionTree) {
+        let cfg = RqcConfig::small(rows, cols, cycles, seed);
+        let c = cfg.build();
+        let b = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0; c.num_qubits()]));
+        let g = TensorNetwork::from_build(&b);
+        let mut work = g.clone();
+        let mut pairs = simplify_network(&mut work);
+        pairs.extend(greedy_path(&mut work, &PathConfig { temperature: 0.5, seed }));
+        let tree = ContractionTree::from_pairs(&g, &pairs);
+        (g, tree)
+    }
+
+    #[test]
+    fn refinement_never_increases_cost() {
+        for seed in 0..4u64 {
+            let (network, tree) = planned(3, 4, 10, seed);
+            let (pairs, report) = refine_path(&tree, RefineObjective::Cost, 10);
+            assert!(report.cost_after <= report.cost_before + 1e-9, "seed {seed}");
+            // The refined pair list must still be a valid full contraction.
+            let refined = ContractionTree::from_pairs(&network, &pairs);
+            assert_eq!(refined.node(refined.root()).rank(), tree.node(tree.root()).rank());
+            assert!((refined.total_log_cost() - report.cost_after).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refined_pairs_preserve_leaf_count() {
+        let (network, tree) = planned(3, 3, 8, 9);
+        let (pairs, _) = refine_path(&tree, RefineObjective::Cost, 5);
+        assert_eq!(pairs.len(), network.num_active() - 1);
+    }
+
+    #[test]
+    fn adaptive_objective_is_also_monotone_in_cost() {
+        let (network, tree) = planned(3, 4, 10, 11);
+        let (pairs, report) =
+            refine_path(&tree, RefineObjective::SunwayAdaptive { ldm_rank: 13 }, 10);
+        assert!(report.cost_after <= report.cost_before + 1e-9);
+        let refined = ContractionTree::from_pairs(&network, &pairs);
+        assert_eq!(refined.node(refined.root()).rank(), 0);
+    }
+
+    #[test]
+    fn bad_trees_get_improved() {
+        // A deliberately poor path (high temperature) should leave room for
+        // the refiner to find at least one rotation on most instances.
+        let mut improved = 0;
+        for seed in 20..26u64 {
+            let (_, tree) = planned(3, 4, 10, seed);
+            let (_, report) = refine_path(&tree, RefineObjective::Cost, 10);
+            if report.cost_after < report.cost_before - 1e-9 {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 2, "refiner improved only {improved}/6 poor trees");
+    }
+
+    #[test]
+    fn zero_sweeps_is_identity() {
+        let (network, tree) = planned(3, 3, 8, 30);
+        let (pairs, report) = refine_path(&tree, RefineObjective::Cost, 0);
+        assert_eq!(report.rotations, 0);
+        let rebuilt = ContractionTree::from_pairs(&network, &pairs);
+        assert!((rebuilt.total_log_cost() - tree.total_log_cost()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: simulate a small circuit, inspect the plan, compute an
+//! amplitude and a batch of correlated amplitudes, and verify against the
+//! state-vector reference.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qtnsim::circuit::{Circuit, Gate, OutputSpec, RqcConfig};
+use qtnsim::core::{verify_against_statevector, PlannerConfig, Simulator};
+
+fn main() {
+    // --- 1. A hand-written circuit -----------------------------------------
+    let mut ghz = Circuit::new(4);
+    ghz.push1(Gate::H, 0)
+        .push2(Gate::Cnot, 0, 1)
+        .push2(Gate::Cnot, 1, 2)
+        .push2(Gate::Cnot, 2, 3);
+    let mut sim = Simulator::new(ghz);
+    let a0000 = sim.amplitude(&[0, 0, 0, 0]);
+    let a1111 = sim.amplitude(&[1, 1, 1, 1]);
+    println!("GHZ amplitudes: <0000|psi> = {a0000}  <1111|psi> = {a1111}");
+
+    // --- 2. A Sycamore-style random circuit on a small grid ----------------
+    let config = RqcConfig::small(3, 4, 10, 42);
+    let circuit = config.build();
+    let n = circuit.num_qubits();
+    println!(
+        "\nRandom circuit: {} qubits, {} cycles, {} two-qubit gates, depth {}",
+        n,
+        config.cycles,
+        circuit.two_qubit_gate_count(),
+        circuit.depth()
+    );
+
+    // Plan with a tight memory target to force slicing, and inspect it.
+    let planner = PlannerConfig { target_rank: 10, ..Default::default() };
+    let mut sim = Simulator::new(circuit.clone()).with_planner(planner.clone());
+    let plan = sim.plan(&OutputSpec::Amplitude(vec![0; n]));
+    println!(
+        "Plan: log2(cost) = {:.2}, sliced edges = {}, subtasks = {}, overhead = {:.3}, max rank after slicing = {}",
+        plan.log_cost,
+        plan.slicing.len(),
+        plan.num_subtasks(),
+        plan.overhead,
+        plan.sliced_max_rank(),
+    );
+
+    // Execute: a single amplitude.
+    let amp = sim.amplitude(&vec![0; n]);
+    let stats = sim.last_stats().unwrap().clone();
+    println!(
+        "Amplitude <0...0|C|0...0> = {amp}  ({} subtasks, {:.1} Mflop, {:.3} s wall)",
+        stats.subtasks_run,
+        stats.flops as f64 / 1e6,
+        stats.wall_seconds
+    );
+
+    // A batch of correlated amplitudes over three open qubits, then samples.
+    let open = vec![0usize, 1, 2];
+    let samples = sim.sample(&vec![0; n], &open, 5, 1);
+    println!("Five correlated samples of qubits {open:?}: {samples:?}");
+
+    // --- 3. Verification against the state-vector reference ----------------
+    let verification = verify_against_statevector(&circuit, &planner, 4, 1e-8);
+    println!(
+        "\nVerification against the state vector: {} amplitudes compared, max |error| = {:.2e}, passed = {}",
+        verification.compared, verification.max_error, verification.passed
+    );
+}

@@ -1,0 +1,55 @@
+//! # qtnsim — lifetime-based tensor-network quantum circuit simulation
+//!
+//! A Rust reproduction of *"Lifetime-Based Optimization for Simulating
+//! Quantum Circuits on a New Sunway Supercomputer"* (PPoPP 2023): a
+//! tensor-network contraction simulator for random quantum circuits whose
+//! memory is managed by *slicing*, with the slicing sets chosen by the
+//! paper's lifetime-based finder and simulated-annealing refiner, a
+//! fused/secondary-slicing thread-level execution design, and an analytic
+//! model of the Sunway SW26010pro memory hierarchy for performance
+//! projection.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qtnsim::circuit::{Circuit, Gate};
+//! use qtnsim::Simulator;
+//!
+//! // A 3-qubit GHZ circuit.
+//! let mut circuit = Circuit::new(3);
+//! circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1).push2(Gate::Cnot, 1, 2);
+//!
+//! let mut sim = Simulator::new(circuit);
+//! let amplitude = sim.amplitude(&[1, 1, 1]);
+//! assert!((amplitude.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-10);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`tensor`] | complex scalars, dense tensors, permutation, GEMM, TTGT contraction |
+//! | [`circuit`] | gate library, circuit IR, Sycamore-style RQC generator, circuit → network |
+//! | [`tensornet`] | network graph, contraction trees, path search, stem extraction |
+//! | [`slicing`] | lifetime, overheads, the slice finder (Alg. 1), the SA refiner (Alg. 2), baselines |
+//! | [`sunway`] | SW26010pro machine model: memory hierarchy, roofline, scaling projection |
+//! | [`fused`] | secondary slicing and the fused vs step-by-step thread-level executors |
+//! | [`statevector`] | reference full-state simulator for validation |
+//! | [`core`] | planner, parallel sliced executor, sampling, verification, projection |
+
+#![warn(missing_docs)]
+
+pub use qtn_circuit as circuit;
+pub use qtn_fused as fused;
+pub use qtn_slicing as slicing;
+pub use qtn_statevector as statevector;
+pub use qtn_sunway as sunway;
+pub use qtn_tensor as tensor;
+pub use qtn_tensornet as tensornet;
+pub use qtnsim_core as core;
+
+pub use qtn_circuit::{sycamore_rqc, Circuit, Gate, OutputSpec, RqcConfig};
+pub use qtn_tensor::{c64, Complex64, DenseTensor};
+pub use qtnsim_core::{
+    execute_plan, plan_simulation, ExecutorConfig, PlannerConfig, Simulator,
+};
