@@ -16,16 +16,12 @@ fn bench_executors(c: &mut Criterion) {
     for start_rank in [12usize, 14] {
         let segment = random_segment(7 + start_rank as u64, start_rank, 10, 2, 2);
         group.throughput(Throughput::Elements(segment.total_flops()));
-        group.bench_with_input(
-            BenchmarkId::new("step_by_step", start_rank),
-            &segment,
-            |b, seg| b.iter(|| execute_step_by_step(seg, &model)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fused", start_rank),
-            &segment,
-            |b, seg| b.iter(|| execute_fused(seg, &model, 13)),
-        );
+        group.bench_with_input(BenchmarkId::new("step_by_step", start_rank), &segment, |b, seg| {
+            b.iter(|| execute_step_by_step(seg, &model))
+        });
+        group.bench_with_input(BenchmarkId::new("fused", start_rank), &segment, |b, seg| {
+            b.iter(|| execute_fused(seg, &model, 13))
+        });
     }
     group.finish();
 }

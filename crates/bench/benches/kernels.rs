@@ -79,12 +79,8 @@ fn bench_permutation(c: &mut Criterion) {
         let full = PermutePlan::full(rank, &perm);
         let reduced = PermutePlan::reduced(rank, &perm);
         group.throughput(Throughput::Elements(1 << rank as u64));
-        group.bench_function(BenchmarkId::new("in_situ", rank), |b| {
-            b.iter(|| permute(&t, &perm))
-        });
-        group.bench_function(BenchmarkId::new("full_map", rank), |b| {
-            b.iter(|| full.apply(&t))
-        });
+        group.bench_function(BenchmarkId::new("in_situ", rank), |b| b.iter(|| permute(&t, &perm)));
+        group.bench_function(BenchmarkId::new("full_map", rank), |b| b.iter(|| full.apply(&t)));
         group.bench_function(BenchmarkId::new("reduced_map", rank), |b| {
             b.iter(|| reduced.apply(&t))
         });

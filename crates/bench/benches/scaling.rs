@@ -26,9 +26,7 @@ fn bench_strong_scaling(c: &mut Criterion) {
             continue;
         }
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks })
-            })
+            b.iter(|| execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks }))
         });
     }
     group.finish();
@@ -54,9 +52,7 @@ fn bench_weak_scaling(c: &mut Criterion) {
         }
         let subtasks = (per_worker * workers).min(plan.num_subtasks());
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| {
-                execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks })
-            })
+            b.iter(|| execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks }))
         });
     }
     group.finish();

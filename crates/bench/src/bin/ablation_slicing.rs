@@ -27,12 +27,11 @@ fn main() {
     let delta: usize = arg_or("delta", 4);
 
     println!("# Ablation: contribution of each slicing design choice");
-    println!("# Sycamore-style m = {cycles}, {instances} instances, target = stem max rank - {delta}");
-    println!("#");
     println!(
-        "# {:>4}  {:>22}  {:>8}  {:>10}",
-        "inst", "method", "|S|", "overhead"
+        "# Sycamore-style m = {cycles}, {instances} instances, target = stem max rank - {delta}"
     );
+    println!("#");
+    println!("# {:>4}  {:>22}  {:>8}  {:>10}", "inst", "method", "|S|", "overhead");
 
     let mut totals = [0usize; 4];
     let mut overheads = [0.0f64; 4];
@@ -66,10 +65,14 @@ fn main() {
 
     println!("#");
     println!("# means over {instances} instances:");
-    for (k, name) in
-        ["greedy (whole tree)", "dynamic (stem, re-tuned)", "lifetime finder", "finder + SA refiner"]
-            .iter()
-            .enumerate()
+    for (k, name) in [
+        "greedy (whole tree)",
+        "dynamic (stem, re-tuned)",
+        "lifetime finder",
+        "finder + SA refiner",
+    ]
+    .iter()
+    .enumerate()
     {
         println!(
             "#   {:<26} mean |S| = {:>6.2}, mean overhead = {:>7.3}",

@@ -41,10 +41,7 @@ fn main() {
         let original = union.len() as f64;
         let per_subtask = (union.len() - hits) as f64;
         let multiple = (plan.len() - hits) as f64; // log2 of the redundancy multiple
-        println!(
-            "{:>5}  {:>15.1}  {:>17.1}  2^{:.0}",
-            i, original, per_subtask, multiple
-        );
+        println!("{:>5}  {:>15.1}  {:>17.1}  2^{:.0}", i, original, per_subtask, multiple);
     }
 
     // Summary in the shape the paper's text reports.

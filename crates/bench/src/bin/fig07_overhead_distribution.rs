@@ -27,7 +27,9 @@ fn main() {
 
     println!("# Figure 7 reproduction: overhead distribution vs target size");
     println!("# Sycamore-style RQC, m = {cycles}, seed = {seed}");
-    println!("# storage capacities: LDM holds rank {ldm_rank}, united main memory holds rank {mem_rank}");
+    println!(
+        "# storage capacities: LDM holds rank {ldm_rank}, united main memory holds rank {mem_rank}"
+    );
 
     let planned = plan_sycamore(cycles, seed, 4);
     let stem = &planned.stem;
@@ -37,7 +39,12 @@ fn main() {
     println!("#");
     println!(
         "# {:>6}  {:>14}  {:>10}  {:>16}  {:>10}  {:>20}",
-        "target", "storage level", "|S| (ours)", "overhead (ours)", "|S| greedy", "overhead (greedy)"
+        "target",
+        "storage level",
+        "|S| (ours)",
+        "overhead (ours)",
+        "|S| greedy",
+        "overhead (greedy)"
     );
 
     for target in (min_target..=max_target.min(full_rank)).rev() {

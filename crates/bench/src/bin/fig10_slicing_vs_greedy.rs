@@ -40,7 +40,13 @@ fn main() {
     println!("#");
     println!(
         "# {:>5}  {:>12}  {:>11}  {:>11}  {:>12}  {:>14}  {:>15}",
-        "path", "log2(cost)", "|S| ours", "|S| greedy", "extra edges", "overhead ours", "overhead greedy"
+        "path",
+        "log2(cost)",
+        "|S| ours",
+        "|S| greedy",
+        "extra edges",
+        "overhead ours",
+        "overhead greedy"
     );
 
     let mut wins_or_ties = 0usize;
@@ -61,8 +67,7 @@ fn main() {
         }
         let theirs = greedy_slicer(&tree, target);
         let ours_overhead = slicing_overhead(&stem, &ours.sliced);
-        let theirs_overhead =
-            qtn_slicing::overhead::slicing_overhead_tree(&tree, &theirs.sliced);
+        let theirs_overhead = qtn_slicing::overhead::slicing_overhead_tree(&tree, &theirs.sliced);
 
         total += 1;
         if ours.len() <= theirs.len() {

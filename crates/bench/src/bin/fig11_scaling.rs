@@ -38,10 +38,8 @@ fn main() {
     );
 
     // Measure the per-subtask cost by running a bounded number of subtasks.
-    let (_, stats) = execute_plan(
-        &plan,
-        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks },
-    );
+    let (_, stats) =
+        execute_plan(&plan, &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks });
     let subtask_time = stats.seconds_per_subtask;
     println!(
         "# measured {} subtasks on 1 worker: {:.6} s per subtask, {:.1} Mflop per subtask",

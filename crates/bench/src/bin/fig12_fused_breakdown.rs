@@ -28,7 +28,14 @@ fn main() {
     println!("#");
     println!(
         "# {:>10}  {:>13}  {:>13}  {:>12}  {:>12}  {:>10}  {:>10}  {:>9}",
-        "task rank", "strategy", "memory (s)", "permute (s)", "GEMM (s)", "total (s)", "AI", "speedup"
+        "task rank",
+        "strategy",
+        "memory (s)",
+        "permute (s)",
+        "GEMM (s)",
+        "total (s)",
+        "AI",
+        "speedup"
     );
 
     for start_rank in [12usize, 13, 14, 15, 16] {

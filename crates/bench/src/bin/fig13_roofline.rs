@@ -60,6 +60,8 @@ fn main() {
     }
 
     println!("#");
-    println!("# (paper: original AI 1.22 single precision / 2.6 mixed; fused kernels reach 10x-40x,");
+    println!(
+        "# (paper: original AI 1.22 single precision / 2.6 mixed; fused kernels reach 10x-40x,"
+    );
     println!("#  with some cases crossing the 42.3 ridge point into the compute-bound region)");
 }

@@ -69,10 +69,8 @@ fn main() {
         &OutputSpec::Amplitude(vec![0; 16]),
         &PlannerConfig { target_rank: 10, ..Default::default() },
     );
-    let (_, cal_stats) = execute_plan(
-        &cal_plan,
-        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks },
-    );
+    let (_, cal_stats) =
+        execute_plan(&cal_plan, &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks });
     println!(
         "# calibration: {} subtasks, {:.2} Gflop/s sustained on this host",
         cal_stats.subtasks_run,

@@ -10,18 +10,33 @@ fn main() {
         // greedy best of 8
         let cands = random_greedy_paths(&w, 8, 7);
         let (t, p) = cands.into_iter().next().unwrap();
-        let mut pairs_g = pre.clone(); pairs_g.extend(p);
-        println!("m={m} greedy best-of-8: log2 cost {:.2} max rank {}", t.total_log_cost(), t.max_rank());
+        let mut pairs_g = pre.clone();
+        pairs_g.extend(p);
+        println!(
+            "m={m} greedy best-of-8: log2 cost {:.2} max rank {}",
+            t.total_log_cost(),
+            t.max_rank()
+        );
         // partition
         let mut w2 = g.clone();
         let mut pairs_p = simplify_network(&mut w2);
         pairs_p.extend(partition_path(&mut w2, 3));
         let tp = ContractionTree::from_pairs(&g, &pairs_p);
-        println!("m={m} partition:       log2 cost {:.2} max rank {}", tp.total_log_cost(), tp.max_rank());
+        println!(
+            "m={m} partition:       log2 cost {:.2} max rank {}",
+            tp.total_log_cost(),
+            tp.max_rank()
+        );
         // partition + refine
         let (rp, rep) = refine_path(&tp, RefineObjective::Cost, 6);
         let tr = ContractionTree::from_pairs(&g, &rp);
-        println!("m={m} part+refine:     log2 cost {:.2} max rank {} ({} rotations)", tr.total_log_cost(), tr.max_rank(), rep.rotations);
-        let _ = pre.len(); let _ = pairs_g.len();
+        println!(
+            "m={m} part+refine:     log2 cost {:.2} max rank {} ({} rotations)",
+            tr.total_log_cost(),
+            tr.max_rank(),
+            rep.rotations
+        );
+        let _ = pre.len();
+        let _ = pairs_g.len();
     }
 }

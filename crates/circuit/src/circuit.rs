@@ -86,6 +86,35 @@ impl Circuit {
         self.ops.iter().filter(|op| op.gate.arity() == 2).count()
     }
 
+    /// A structural fingerprint of the circuit: a 64-bit FNV-1a hash over the
+    /// qubit count and every operation's target qubits and unitary matrix
+    /// (bit patterns of the complex entries). Two circuits with the same
+    /// fingerprint produce identical tensor networks up to output projectors,
+    /// which is what plan caches key on.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.num_qubits as u64);
+        for op in &self.ops {
+            eat(op.qubits.len() as u64);
+            for &q in &op.qubits {
+                eat(q as u64);
+            }
+            for entry in op.gate.matrix() {
+                eat(entry.re.to_bits());
+                eat(entry.im.to_bits());
+            }
+        }
+        h
+    }
+
     /// Circuit depth: the length of the longest chain of gates sharing
     /// qubits, computed by levelling each qubit wire.
     pub fn depth(&self) -> usize {
@@ -127,6 +156,29 @@ mod tests {
     #[test]
     fn empty_circuit_depth_zero() {
         assert_eq!(Circuit::new(4).depth(), 0);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_and_parameters() {
+        let mut a = Circuit::new(2);
+        a.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let mut b = Circuit::new(2);
+        b.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different target qubit.
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 1).push2(Gate::Cnot, 0, 1);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Different rotation angle.
+        let mut d1 = Circuit::new(1);
+        d1.push1(Gate::Rz(0.25), 0);
+        let mut d2 = Circuit::new(1);
+        d2.push1(Gate::Rz(0.26), 0);
+        assert_ne!(d1.fingerprint(), d2.fingerprint());
+        // Same gates, different qubit count.
+        let mut e = Circuit::new(3);
+        e.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        assert_ne!(a.fingerprint(), e.fingerprint());
     }
 
     #[test]

@@ -282,11 +282,8 @@ mod tests {
         // W = (X + Y)/sqrt(2)
         let x = Gate::X.matrix();
         let y = Gate::Y.matrix();
-        let w: Vec<Complex64> = x
-            .iter()
-            .zip(y.iter())
-            .map(|(a, b)| (*a + *b).scale(FRAC_1_SQRT_2))
-            .collect();
+        let w: Vec<Complex64> =
+            x.iter().zip(y.iter()).map(|(a, b)| (*a + *b).scale(FRAC_1_SQRT_2)).collect();
         for (a, b) in sq.iter().zip(w.iter()) {
             assert!((*a - *b).abs() < 1e-12, "{a:?} vs {b:?}");
         }

@@ -18,8 +18,10 @@ pub mod rqc;
 
 pub use circuit::{Circuit, GateOp};
 pub use gate::Gate;
-pub use library::{ghz, qaoa_ansatz, qft};
-pub use qsim::{parse_qsim, write_qsim, QsimParseError};
 pub use layout::{GridLayout, SYCAMORE_QUBITS};
-pub use network::{circuit_to_network, contract_network_naive, NetworkBuild, OutputSpec, TensorNode};
+pub use library::{ghz, qaoa_ansatz, qft};
+pub use network::{
+    circuit_to_network, contract_network_naive, NetworkBuild, OutputSpec, RebindError, TensorNode,
+};
+pub use qsim::{parse_qsim, write_qsim, QsimParseError};
 pub use rqc::{sycamore_rqc, RqcConfig};

@@ -50,6 +50,89 @@ pub struct NetworkBuild {
     pub open_indices: Vec<(usize, IndexId)>,
     /// Total number of edge identifiers allocated.
     pub num_indices: u32,
+    /// Number of qubits of the source circuit.
+    pub num_qubits: usize,
+    /// Output-projector leaf tensors, as `(qubit, node index)` pairs. These
+    /// are the only tensors whose *data* depends on the requested output
+    /// bitstring; everything else (and the network structure itself) is
+    /// bitstring-independent, which is what makes plan reuse sound.
+    pub projector_leaves: Vec<(usize, usize)>,
+}
+
+/// Why an output rebind was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebindError {
+    /// The bitstring length does not match the circuit's qubit count.
+    BitstringLength {
+        /// Qubits in the circuit.
+        expected: usize,
+        /// Length of the bitstring that was supplied.
+        got: usize,
+    },
+    /// A bit value other than 0 or 1 was supplied.
+    InvalidBit {
+        /// The offending qubit.
+        qubit: usize,
+        /// The offending value.
+        value: u8,
+    },
+}
+
+impl std::fmt::Display for RebindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebindError::BitstringLength { expected, got } => {
+                write!(f, "bitstring length {got} does not match {expected} qubits")
+            }
+            RebindError::InvalidBit { qubit, value } => {
+                write!(f, "bit value {value} for qubit {qubit} is not 0 or 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RebindError {}
+
+impl NetworkBuild {
+    /// Compute the leaf-tensor overrides that retarget this network's output
+    /// projectors to a new bitstring, without re-running any planning.
+    ///
+    /// Only the rank-1 projector leaves depend on the output bits, so a
+    /// contraction plan built over this network for one bitstring can execute
+    /// any other bitstring by substituting the returned `(node index, data)`
+    /// pairs for the original leaf data. `bits` must cover every qubit;
+    /// entries for open (non-projected) qubits are ignored.
+    pub fn rebind_output(
+        &self,
+        bits: &[u8],
+    ) -> Result<Vec<(usize, DenseTensor<Complex64>)>, RebindError> {
+        if bits.len() != self.num_qubits {
+            return Err(RebindError::BitstringLength {
+                expected: self.num_qubits,
+                got: bits.len(),
+            });
+        }
+        let mut overrides = Vec::with_capacity(self.projector_leaves.len());
+        for &(qubit, node) in &self.projector_leaves {
+            let bit = bits[qubit];
+            if bit > 1 {
+                return Err(RebindError::InvalidBit { qubit, value: bit });
+            }
+            let wire = self.nodes[node].indices.axes()[0];
+            overrides.push((node, projection_node(qubit, wire, bit).data));
+        }
+        Ok(overrides)
+    }
+
+    /// Rewrite the projector leaves in place to target a new bitstring.
+    /// Mutating sibling of [`NetworkBuild::rebind_output`].
+    pub fn apply_rebind(&mut self, bits: &[u8]) -> Result<(), RebindError> {
+        for (node, data) in self.rebind_output(bits)? {
+            self.nodes[node].indices = data.indices().clone();
+            self.nodes[node].data = data;
+        }
+        Ok(())
+    }
 }
 
 /// Convert a circuit and output specification into a tensor network.
@@ -68,10 +151,8 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
 
     // Initial |0> states.
     for (q, &w) in wire.iter().enumerate() {
-        let data = DenseTensor::from_data(
-            IndexSet::new(vec![w]),
-            vec![Complex64::ONE, Complex64::ZERO],
-        );
+        let data =
+            DenseTensor::from_data(IndexSet::new(vec![w]), vec![Complex64::ONE, Complex64::ZERO]);
         nodes.push(TensorNode {
             indices: data.indices().clone(),
             data,
@@ -88,8 +169,7 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
                 let i_in = wire[q];
                 let i_out = alloc();
                 // data[o*2 + i] = U[o][i]
-                let data =
-                    DenseTensor::from_data(IndexSet::new(vec![i_out, i_in]), m.clone());
+                let data = DenseTensor::from_data(IndexSet::new(vec![i_out, i_in]), m.clone());
                 nodes.push(TensorNode {
                     indices: data.indices().clone(),
                     data,
@@ -119,10 +199,12 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
 
     // Outputs.
     let mut open_indices = Vec::new();
+    let mut projector_leaves = Vec::new();
     match output {
         OutputSpec::Amplitude(bits) => {
             assert_eq!(bits.len(), n, "amplitude bitstring length mismatch");
             for (q, (&w, &b)) in wire.iter().zip(bits.iter()).enumerate() {
+                projector_leaves.push((q, nodes.len()));
                 nodes.push(projection_node(q, w, b));
             }
         }
@@ -135,13 +217,14 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
                 if open.contains(&q) {
                     open_indices.push((q, w));
                 } else {
+                    projector_leaves.push((q, nodes.len()));
                     nodes.push(projection_node(q, w, fixed[q]));
                 }
             }
         }
     }
 
-    NetworkBuild { nodes, open_indices, num_indices: next_index }
+    NetworkBuild { nodes, open_indices, num_indices: next_index, num_qubits: n, projector_leaves }
 }
 
 fn projection_node(q: usize, w: IndexId, bit: u8) -> TensorNode {
@@ -154,11 +237,7 @@ fn projection_node(q: usize, w: IndexId, bit: u8) -> TensorNode {
             vec![Complex64::ZERO, Complex64::ONE]
         },
     );
-    TensorNode {
-        indices: data.indices().clone(),
-        data,
-        label: format!("proj[{q}]={bit}"),
-    }
+    TensorNode { indices: data.indices().clone(), data, label: format!("proj[{q}]={bit}") }
 }
 
 /// Contract the whole network by brute force (repeated pairwise contraction
@@ -243,10 +322,7 @@ mod tests {
     fn open_output_produces_state_over_open_qubits() {
         let mut c = Circuit::new(2);
         c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
-        let b = circuit_to_network(
-            &c,
-            &OutputSpec::Open { fixed: vec![0, 0], open: vec![0, 1] },
-        );
+        let b = circuit_to_network(&c, &OutputSpec::Open { fixed: vec![0, 0], open: vec![0, 1] });
         assert_eq!(b.open_indices.len(), 2);
         let t = contract_network_naive(&b);
         assert_eq!(t.rank(), 2);
@@ -300,5 +376,49 @@ mod tests {
     fn wrong_bitstring_length_panics() {
         let c = Circuit::new(2);
         circuit_to_network(&c, &OutputSpec::Amplitude(vec![0]));
+    }
+
+    #[test]
+    fn rebind_output_retargets_amplitudes_without_rebuilding() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let mut build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0]));
+        assert_eq!(build.projector_leaves.len(), 2);
+        let h = 1.0 / 2f64.sqrt();
+        // Rebinding |00> -> |11> must reproduce the freshly-built network.
+        build.apply_rebind(&[1, 1]).unwrap();
+        let rebound = contract_network_naive(&build).scalar_value();
+        assert!((rebound - c64(h, 0.0)).abs() < 1e-12);
+        build.apply_rebind(&[0, 1]).unwrap();
+        assert!(contract_network_naive(&build).scalar_value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebind_output_ignores_open_qubits() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let mut build =
+            circuit_to_network(&c, &OutputSpec::Open { fixed: vec![0, 0], open: vec![1] });
+        assert_eq!(build.projector_leaves.len(), 1);
+        // Project qubit 0 onto |1>; qubit 1 stays open.
+        build.apply_rebind(&[1, 0]).unwrap();
+        let t = contract_network_naive(&build);
+        let h = 1.0 / 2f64.sqrt();
+        assert!(t.get(&[0]).abs() < 1e-12);
+        assert!((t.get(&[1]) - c64(h, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rebind_output_validates_input() {
+        let c = Circuit::new(2);
+        let build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0]));
+        assert_eq!(
+            build.rebind_output(&[0]),
+            Err(RebindError::BitstringLength { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            build.rebind_output(&[0, 2]),
+            Err(RebindError::InvalidBit { qubit: 1, value: 2 })
+        );
     }
 }

@@ -64,12 +64,11 @@ pub fn parse_qsim(text: &str) -> Result<Circuit, QsimParseError> {
         let name = tok.next().ok_or_else(|| err(line_no, "missing gate name"))?.to_lowercase();
         let rest: Vec<&str> = tok.collect();
 
-        let mut qubit = |i: usize| -> Result<usize, QsimParseError> {
+        let qubit = |i: usize| -> Result<usize, QsimParseError> {
             let s = rest
                 .get(i)
                 .ok_or_else(|| err(line_no, format!("gate {name} missing qubit {i}")))?;
-            let q: usize =
-                s.parse().map_err(|_| err(line_no, format!("bad qubit index {s:?}")))?;
+            let q: usize = s.parse().map_err(|_| err(line_no, format!("bad qubit index {s:?}")))?;
             if q >= num_qubits {
                 return Err(err(line_no, format!("qubit {q} out of range (n = {num_qubits})")));
             }
@@ -257,10 +256,7 @@ mod tests {
     fn unitary_gates_cannot_be_serialised() {
         use crate::library::controlled_phase;
         let mut c = Circuit::new(2);
-        c.push_op(crate::circuit::GateOp {
-            gate: controlled_phase(0.5),
-            qubits: vec![0, 1],
-        });
+        c.push_op(crate::circuit::GateOp { gate: controlled_phase(0.5), qubits: vec![0, 1] });
         assert!(write_qsim(&c).is_none());
     }
 }

@@ -33,12 +33,7 @@ pub struct RqcConfig {
 impl RqcConfig {
     /// The Sycamore configuration with `m` cycles.
     pub fn sycamore(cycles: usize, seed: u64) -> Self {
-        Self {
-            layout: GridLayout::sycamore(),
-            cycles,
-            seed,
-            final_single_qubit_layer: true,
-        }
+        Self { layout: GridLayout::sycamore(), cycles, seed, final_single_qubit_layer: true }
     }
 
     /// A small grid configuration, useful for tests and examples that need to
@@ -64,8 +59,8 @@ impl RqcConfig {
 
         for cycle in 0..self.cycles {
             // Single-qubit layer.
-            for q in 0..n {
-                let g = pick_gate(&mut rng, &choices, &mut prev[q]);
+            for (q, prev_q) in prev.iter_mut().enumerate() {
+                let g = pick_gate(&mut rng, &choices, prev_q);
                 circuit.push1(g, q);
             }
             // Two-qubit layer.
@@ -75,8 +70,8 @@ impl RqcConfig {
             }
         }
         if self.final_single_qubit_layer {
-            for q in 0..n {
-                let g = pick_gate(&mut rng, &choices, &mut prev[q]);
+            for (q, prev_q) in prev.iter_mut().enumerate() {
+                let g = pick_gate(&mut rng, &choices, prev_q);
                 circuit.push1(g, q);
             }
         }

@@ -1,0 +1,676 @@
+//! The compile-once / execute-many engine.
+//!
+//! The paper's workload plans a contraction **once** and then sweeps millions
+//! of slice subtasks and correlated samples over it. [`Engine`] matches that
+//! cost model: [`Engine::compile`] runs the expensive planning pipeline (path
+//! search + lifetime slicing + SA refinement) and returns a
+//! [`CompiledCircuit`]; every execute on the compiled circuit only *rebinds*
+//! the output-projector leaf tensors (see
+//! [`qtn_circuit::NetworkBuild::rebind_output`]) and replays the plan on the
+//! engine's persistent worker pool — no re-planning, no thread spawning.
+//!
+//! Plans are memoized in an LRU cache keyed by circuit fingerprint, planner
+//! configuration and output *shape* (`Amplitude` vs the set of open qubits):
+//! because only the projector leaves depend on the concrete bits, one cached
+//! plan serves every bitstring of that shape.
+//!
+//! ```
+//! use qtnsim_core::{Engine, PlannerConfig};
+//! use qtn_circuit::{Circuit, Gate, OutputSpec};
+//!
+//! let mut circuit = Circuit::new(2);
+//! circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+//! let engine = Engine::new();
+//! let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 0])).unwrap();
+//! let (a00, _) = compiled.execute_amplitude(&[0, 0]).unwrap();
+//! let (a11, report) = compiled.execute_amplitude(&[1, 1]).unwrap();
+//! assert!((a00 - a11).abs() < 1e-12);
+//! assert!(report.stats.subtasks_run >= 1);
+//! assert_eq!(engine.plans_built(), 1); // planned once, executed twice
+//! ```
+
+use crate::error::Error;
+use crate::executor::{execute_on_pool, ExecutionStats, ExecutorConfig, LeafOverrides, WorkerPool};
+use crate::planner::{plan_simulation, PlannerConfig, SimulationPlan};
+use crate::sampling::sample_bitstrings;
+use qtn_circuit::{Circuit, OutputSpec};
+use qtn_tensor::{Complex64, DenseTensor, IndexSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What one execution did, returned alongside every result. Replaces the old
+/// `last_stats` mutable side-channel, so executes take `&self` and can run
+/// concurrently.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Executor measurements (subtasks, flops, wall time, workers).
+    pub stats: ExecutionStats,
+    /// Whether the plan behind this execution came from the engine's cache.
+    pub plan_cache_hit: bool,
+}
+
+/// The output *shape* a circuit was compiled for: the part of the
+/// [`OutputSpec`] that determines network structure. Concrete bit values are
+/// rebound per execution and deliberately not part of the shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OutputShape {
+    /// A single closed amplitude; any bitstring executes on the same plan.
+    Amplitude,
+    /// A batch over the given open qubits (sorted); any `fixed` projection
+    /// of the remaining qubits executes on the same plan.
+    Open(Vec<usize>),
+}
+
+impl OutputShape {
+    fn of(spec: &OutputSpec) -> Self {
+        match spec {
+            OutputSpec::Amplitude(_) => OutputShape::Amplitude,
+            OutputSpec::Open { open, .. } => {
+                let mut open = open.clone();
+                open.sort_unstable();
+                OutputShape::Open(open)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            OutputShape::Amplitude => "amplitude",
+            OutputShape::Open(_) => "open-batch",
+        }
+    }
+}
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct PlanKey {
+    /// [`Circuit::fingerprint`] of the compiled circuit.
+    fingerprint: u64,
+    /// Hash of the [`PlannerConfig`] the plan was built under — two engines
+    /// sharing one cache but configured differently never trade plans.
+    planner: u64,
+    shape: OutputShape,
+}
+
+/// A tiny LRU: most-recently-used entry at the front.
+struct PlanCache {
+    capacity: usize,
+    entries: Vec<(PlanKey, Arc<SimulationPlan>)>,
+}
+
+impl PlanCache {
+    fn get(&mut self, key: &PlanKey) -> Option<Arc<SimulationPlan>> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(pos);
+        let plan = Arc::clone(&entry.1);
+        self.entries.insert(0, entry);
+        Some(plan)
+    }
+
+    fn insert(&mut self, key: PlanKey, plan: Arc<SimulationPlan>) {
+        self.entries.retain(|(k, _)| k != &key);
+        self.entries.insert(0, (key, plan));
+        self.entries.truncate(self.capacity.max(1));
+    }
+}
+
+/// The cache/counter state of an engine, shared across clones and compiled
+/// circuits. Kept separate from the worker pool so reconfiguring the pool
+/// never discards cached plans or resets counters.
+struct EngineState {
+    cache: Mutex<PlanCache>,
+    plans_built: AtomicUsize,
+    cache_hits: AtomicUsize,
+}
+
+/// A compile-once / execute-many simulation engine.
+///
+/// Owns a persistent [`WorkerPool`] and an LRU plan cache. Cloning an engine
+/// is cheap and shares both. See the [module docs](self) for an example.
+#[derive(Clone)]
+pub struct Engine {
+    planner: PlannerConfig,
+    executor: ExecutorConfig,
+    pool: Arc<WorkerPool>,
+    state: Arc<EngineState>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("planner", &self.planner)
+            .field("executor", &self.executor)
+            .field("pool", &self.pool)
+            .field("plans_built", &self.plans_built())
+            .finish()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default number of plans the engine keeps cached.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 16;
+
+/// FNV-1a over a byte stream; used to fold configurations into cache keys.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for byte in bytes {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+impl Engine {
+    /// Create an engine with default planner/executor configuration.
+    pub fn new() -> Self {
+        Self::with_configs(PlannerConfig::default(), ExecutorConfig::default())
+    }
+
+    /// Create an engine with explicit configurations.
+    pub fn with_configs(planner: PlannerConfig, executor: ExecutorConfig) -> Self {
+        let state = Arc::new(EngineState {
+            cache: Mutex::new(PlanCache {
+                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+                entries: Vec::new(),
+            }),
+            plans_built: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+        });
+        Self {
+            planner,
+            executor: executor.clone(),
+            pool: Arc::new(WorkerPool::new(executor.workers)),
+            state,
+        }
+    }
+
+    /// A hash of the planner configuration, folded into every plan-cache key
+    /// so plans built under one configuration are never served to another.
+    fn planner_fingerprint(&self) -> u64 {
+        // PlannerConfig's Debug output covers every field (f64s print with
+        // round-trip precision), making it a faithful value fingerprint.
+        fnv1a(format!("{:?}", self.planner).into_bytes())
+    }
+
+    /// Replace the planner configuration (builder style). Cached plans are
+    /// keyed by configuration, so entries built under the old configuration
+    /// remain in the cache (for clones still using it) but will never be
+    /// served to this engine.
+    pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Replace the executor configuration (builder style). Rebuilds the
+    /// worker pool if the thread count changed; the plan cache and the
+    /// planning counters are untouched (plans are worker-count independent).
+    /// Previously compiled circuits keep the pool they were compiled with.
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        if executor.workers != self.executor.workers {
+            self.pool = Arc::new(WorkerPool::new(executor.workers));
+        }
+        self.executor = executor;
+        self
+    }
+
+    /// Set how many plans the LRU cache retains (builder style).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        if let Ok(mut cache) = self.state.cache.lock() {
+            cache.capacity = capacity.max(1);
+            let cap = cache.capacity;
+            cache.entries.truncate(cap);
+        }
+        self
+    }
+
+    /// The planner configuration.
+    pub fn planner(&self) -> &PlannerConfig {
+        &self.planner
+    }
+
+    /// The executor configuration.
+    pub fn executor(&self) -> &ExecutorConfig {
+        &self.executor
+    }
+
+    /// How many times the full planning pipeline has run. Plan-cache hits do
+    /// not increment this — the counter the reuse tests assert on.
+    pub fn plans_built(&self) -> usize {
+        self.state.plans_built.load(Ordering::Relaxed)
+    }
+
+    /// How many compiles were served from the plan cache.
+    pub fn cache_hits(&self) -> usize {
+        self.state.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Validate an output spec against a circuit at the API boundary.
+    fn validate(circuit: &Circuit, output: &OutputSpec) -> Result<(), Error> {
+        let n = circuit.num_qubits();
+        // Entries at open (non-projected) positions are documented as ignored,
+        // so they are exempt from bit-value validation.
+        let check_bits = |bits: &[u8], open: &[usize]| -> Result<(), Error> {
+            if bits.len() != n {
+                return Err(Error::BitstringLength { expected: n, got: bits.len() });
+            }
+            for (qubit, &value) in bits.iter().enumerate() {
+                if value > 1 && !open.contains(&qubit) {
+                    return Err(Error::InvalidBit { qubit, value });
+                }
+            }
+            Ok(())
+        };
+        match output {
+            OutputSpec::Amplitude(bits) => check_bits(bits, &[]),
+            OutputSpec::Open { fixed, open } => {
+                let mut seen = vec![false; n];
+                for &q in open {
+                    if q >= n {
+                        return Err(Error::OpenQubitOutOfRange { qubit: q, num_qubits: n });
+                    }
+                    if seen[q] {
+                        return Err(Error::DuplicateOpenQubit { qubit: q });
+                    }
+                    seen[q] = true;
+                }
+                check_bits(fixed, open)
+            }
+        }
+    }
+
+    /// Compile a circuit for an output shape: plan it (or fetch the plan
+    /// from the cache) and bundle the plan with this engine's worker pool
+    /// into a [`CompiledCircuit`].
+    ///
+    /// The concrete bits inside `output` only serve as the template the plan
+    /// is built with; every execute method rebinds them.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        output: &OutputSpec,
+    ) -> Result<CompiledCircuit, Error> {
+        Self::validate(circuit, output)?;
+        let key = PlanKey {
+            fingerprint: circuit.fingerprint(),
+            planner: self.planner_fingerprint(),
+            shape: OutputShape::of(output),
+        };
+
+        let cached = self
+            .state
+            .cache
+            .lock()
+            .map_err(|_| Error::Internal("plan cache poisoned".into()))?
+            .get(&key);
+        let (plan, cache_hit) = match cached {
+            Some(plan) => {
+                self.state.cache_hits.fetch_add(1, Ordering::Relaxed);
+                (plan, true)
+            }
+            None => {
+                let plan = Arc::new(plan_simulation(circuit, output, &self.planner));
+                self.state.plans_built.fetch_add(1, Ordering::Relaxed);
+                self.state
+                    .cache
+                    .lock()
+                    .map_err(|_| Error::Internal("plan cache poisoned".into()))?
+                    .insert(key.clone(), Arc::clone(&plan));
+                (plan, false)
+            }
+        };
+
+        Ok(CompiledCircuit {
+            plan,
+            pool: Arc::clone(&self.pool),
+            executor: self.executor.clone(),
+            shape: key.shape,
+            num_qubits: circuit.num_qubits(),
+            plan_cache_hit: cache_hit,
+        })
+    }
+}
+
+/// A circuit compiled for one output shape: a [`SimulationPlan`] plus cheap
+/// output rebinding and a handle to the engine's persistent worker pool.
+///
+/// All execute methods take `&self` and are safe to call concurrently; the
+/// floating-point result of each method is bit-identical across repeated
+/// calls (the executor reduces partials in a schedule-independent order).
+#[derive(Clone)]
+pub struct CompiledCircuit {
+    plan: Arc<SimulationPlan>,
+    pool: Arc<WorkerPool>,
+    executor: ExecutorConfig,
+    shape: OutputShape,
+    num_qubits: usize,
+    plan_cache_hit: bool,
+}
+
+impl std::fmt::Debug for CompiledCircuit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledCircuit")
+            .field("shape", &self.shape)
+            .field("num_qubits", &self.num_qubits)
+            .field("subtasks", &self.plan.num_subtasks())
+            .field("log_cost", &self.plan.log_cost)
+            .field("plan_cache_hit", &self.plan_cache_hit)
+            .finish()
+    }
+}
+
+impl CompiledCircuit {
+    /// The underlying simulation plan (complexity, slicing set, overhead).
+    pub fn plan(&self) -> &SimulationPlan {
+        &self.plan
+    }
+
+    /// The output shape this circuit was compiled for.
+    pub fn shape(&self) -> &OutputShape {
+        &self.shape
+    }
+
+    /// Number of qubits of the source circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Whether compilation was served from the engine's plan cache.
+    pub fn plan_cache_hit(&self) -> bool {
+        self.plan_cache_hit
+    }
+
+    fn validate_bits(&self, bits: &[u8]) -> Result<(), Error> {
+        if bits.len() != self.num_qubits {
+            return Err(Error::BitstringLength { expected: self.num_qubits, got: bits.len() });
+        }
+        // Entries at open positions are documented as ignored, so they are
+        // exempt from bit-value validation.
+        let open: &[usize] = match &self.shape {
+            OutputShape::Amplitude => &[],
+            OutputShape::Open(open) => open,
+        };
+        for (qubit, &value) in bits.iter().enumerate() {
+            if value > 1 && !open.contains(&qubit) {
+                return Err(Error::InvalidBit { qubit, value });
+            }
+        }
+        Ok(())
+    }
+
+    fn execute_rebound(
+        &self,
+        bits: &[u8],
+    ) -> Result<(DenseTensor<Complex64>, ExecutionReport), Error> {
+        self.validate_bits(bits)?;
+        let overrides: LeafOverrides = self.plan.build.rebind_output(bits)?.into_iter().collect();
+        let (result, stats) =
+            execute_on_pool(&self.pool, &self.plan, &Arc::new(overrides), &self.executor)?;
+        Ok((result, ExecutionReport { stats, plan_cache_hit: self.plan_cache_hit }))
+    }
+
+    /// Compute the amplitude ⟨bits|C|0…0⟩. Requires an
+    /// [`OutputShape::Amplitude`] compilation; any bitstring executes on the
+    /// same plan — only the output projectors are rebound.
+    pub fn execute_amplitude(&self, bits: &[u8]) -> Result<(Complex64, ExecutionReport), Error> {
+        if self.shape != OutputShape::Amplitude {
+            return Err(Error::OutputShapeMismatch {
+                compiled: self.shape.name(),
+                requested: "amplitude",
+            });
+        }
+        let (result, report) = self.execute_rebound(bits)?;
+        Ok((result.scalar_value(), report))
+    }
+
+    /// Compute the tensor of amplitudes over the compiled open qubits with
+    /// the remaining qubits projected onto `fixed` (entries at open qubits
+    /// are ignored). Requires an [`OutputShape::Open`] compilation. The
+    /// returned tensor's axes are ordered by ascending qubit id.
+    pub fn execute_batch(
+        &self,
+        fixed: &[u8],
+    ) -> Result<(DenseTensor<Complex64>, ExecutionReport), Error> {
+        if !matches!(self.shape, OutputShape::Open(_)) {
+            return Err(Error::OutputShapeMismatch {
+                compiled: self.shape.name(),
+                requested: "open-batch",
+            });
+        }
+        let (result, report) = self.execute_rebound(fixed)?;
+        // Order axes by qubit id.
+        let mut pairs = self.plan.build.open_indices.clone();
+        pairs.sort_by_key(|&(q, _)| q);
+        let order: IndexSet = pairs.iter().map(|&(_, id)| id).collect();
+        Ok((qtn_tensor::permute::permute_to_order(&result, &order), report))
+    }
+
+    /// Draw `count` correlated samples of the compiled open qubits from the
+    /// exact output distribution, with the remaining qubits projected onto
+    /// `fixed`. Requires an [`OutputShape::Open`] compilation.
+    pub fn sample(
+        &self,
+        fixed: &[u8],
+        count: usize,
+        seed: u64,
+    ) -> Result<(Vec<Vec<u8>>, ExecutionReport), Error> {
+        let (amplitudes, report) = self.execute_batch(fixed)?;
+        Ok((sample_bitstrings(&amplitudes, count, seed)?, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtn_circuit::{Gate, RqcConfig};
+    use qtn_statevector::StateVector;
+
+    #[test]
+    fn compile_validates_at_the_boundary() {
+        let circuit = Circuit::new(3);
+        let engine = Engine::new();
+        assert_eq!(
+            engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; 2])).unwrap_err(),
+            Error::BitstringLength { expected: 3, got: 2 }
+        );
+        assert_eq!(
+            engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 2, 0])).unwrap_err(),
+            Error::InvalidBit { qubit: 1, value: 2 }
+        );
+        assert_eq!(
+            engine
+                .compile(&circuit, &OutputSpec::Open { fixed: vec![0; 3], open: vec![5] })
+                .unwrap_err(),
+            Error::OpenQubitOutOfRange { qubit: 5, num_qubits: 3 }
+        );
+        assert_eq!(
+            engine
+                .compile(&circuit, &OutputSpec::Open { fixed: vec![0; 3], open: vec![1, 1] })
+                .unwrap_err(),
+            Error::DuplicateOpenQubit { qubit: 1 }
+        );
+        // Nothing was planned for rejected inputs.
+        assert_eq!(engine.plans_built(), 0);
+    }
+
+    #[test]
+    fn shape_misuse_is_a_typed_error() {
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::H, 0);
+        let engine = Engine::new();
+        let amp = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 0])).unwrap();
+        assert!(matches!(
+            amp.execute_batch(&[0, 0]).unwrap_err(),
+            Error::OutputShapeMismatch { .. }
+        ));
+        assert!(matches!(
+            amp.sample(&[0, 0], 5, 1).unwrap_err(),
+            Error::OutputShapeMismatch { .. }
+        ));
+        let open = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0, 0], open: vec![0] })
+            .unwrap();
+        assert!(matches!(
+            open.execute_amplitude(&[0, 0]).unwrap_err(),
+            Error::OutputShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn one_plan_serves_every_bitstring() {
+        let circuit = RqcConfig::small(2, 3, 6, 3).build();
+        let n = circuit.num_qubits();
+        let engine =
+            Engine::new().with_planner(PlannerConfig { target_rank: 8, ..Default::default() });
+        let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+        let sv = StateVector::simulate(&circuit);
+        for k in 0..8usize {
+            let bits: Vec<u8> = (0..n).map(|q| ((k >> (q % 3)) & 1) as u8).collect();
+            let (amp, _) = compiled.execute_amplitude(&bits).unwrap();
+            assert!((amp - sv.amplitude(&bits)).abs() < 1e-8, "amplitude mismatch for {bits:?}");
+        }
+        assert_eq!(engine.plans_built(), 1, "planning must run exactly once");
+    }
+
+    #[test]
+    fn plan_cache_hits_across_compiles() {
+        let circuit = RqcConfig::small(2, 3, 6, 4).build();
+        let n = circuit.num_qubits();
+        let engine =
+            Engine::new().with_planner(PlannerConfig { target_rank: 10, ..Default::default() });
+        let a = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+        assert!(!a.plan_cache_hit());
+        let mut other = vec![0u8; n];
+        other[0] = 1;
+        let b = engine.compile(&circuit, &OutputSpec::Amplitude(other)).unwrap();
+        assert!(b.plan_cache_hit(), "same shape must hit the plan cache");
+        assert_eq!(engine.plans_built(), 1);
+        assert_eq!(engine.cache_hits(), 1);
+        // A different shape (open batch) misses.
+        let c = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0; n], open: vec![0, 1] })
+            .unwrap();
+        assert!(!c.plan_cache_hit());
+        assert_eq!(engine.plans_built(), 2);
+        // Open-qubit order does not matter for the shape key.
+        let d = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0; n], open: vec![1, 0] })
+            .unwrap();
+        assert!(d.plan_cache_hit());
+        assert_eq!(engine.plans_built(), 2);
+    }
+
+    #[test]
+    fn cache_never_serves_plans_across_planner_configs() {
+        let circuit = RqcConfig::small(3, 3, 8, 7).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        // `loose` plans without slicing; `tight` is a clone sharing the same
+        // cache but configured with a hard memory budget.
+        let loose =
+            Engine::new().with_planner(PlannerConfig { target_rank: 40, ..Default::default() });
+        let tight =
+            loose.clone().with_planner(PlannerConfig { target_rank: 7, ..Default::default() });
+        let a = loose.compile(&circuit, &spec).unwrap();
+        let b = tight.compile(&circuit, &spec).unwrap();
+        assert!(!b.plan_cache_hit(), "tight engine must not reuse the loose plan");
+        assert!(a.plan().sliced_max_rank() > 7);
+        assert!(b.plan().sliced_max_rank() <= 7, "cached plan violates the memory budget");
+        assert_eq!(loose.plans_built(), 2, "counters are shared across clones");
+        // Each config still hits its own entry.
+        assert!(loose.compile(&circuit, &spec).unwrap().plan_cache_hit());
+        assert!(tight.compile(&circuit, &spec).unwrap().plan_cache_hit());
+    }
+
+    #[test]
+    fn with_executor_keeps_cache_and_counters() {
+        let circuit = RqcConfig::small(2, 2, 4, 3).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        let engine = Engine::new();
+        engine.compile(&circuit, &spec).unwrap();
+        assert_eq!(engine.plans_built(), 1);
+        let engine = engine.with_executor(ExecutorConfig { workers: 2, max_subtasks: 0 });
+        // Reconfiguring the pool must not drop cached plans or counters.
+        assert_eq!(engine.plans_built(), 1);
+        let again = engine.compile(&circuit, &spec).unwrap();
+        assert!(again.plan_cache_hit());
+        assert_eq!(engine.plans_built(), 1);
+        // And the recompiled circuit executes on the new pool.
+        assert!(again.execute_amplitude(&vec![0; n]).is_ok());
+    }
+
+    #[test]
+    fn open_positions_are_exempt_from_fixed_bit_validation() {
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::H, 0);
+        let engine = Engine::new();
+        // Sentinel value 2 at the open position is documented as ignored.
+        let compiled = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![2, 0], open: vec![0] })
+            .unwrap();
+        let (batch, _) = compiled.execute_batch(&[2, 0]).unwrap();
+        assert_eq!(batch.rank(), 1);
+        // A bad bit at a *projected* position is still rejected.
+        assert_eq!(
+            compiled.execute_batch(&[0, 5]).unwrap_err(),
+            Error::InvalidBit { qubit: 1, value: 5 }
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_plan() {
+        let engine = Engine::new().with_cache_capacity(2);
+        let mk = |seed: u64| RqcConfig::small(2, 2, 4, seed).build();
+        let (c1, c2, c3) = (mk(1), mk(2), mk(3));
+        let spec = |c: &Circuit| OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        engine.compile(&c1, &spec(&c1)).unwrap();
+        engine.compile(&c2, &spec(&c2)).unwrap();
+        engine.compile(&c3, &spec(&c3)).unwrap(); // evicts c1
+        assert_eq!(engine.plans_built(), 3);
+        engine.compile(&c3, &spec(&c3)).unwrap(); // hit
+        engine.compile(&c1, &spec(&c1)).unwrap(); // miss: was evicted
+        assert_eq!(engine.plans_built(), 4);
+        assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn batch_and_sample_through_the_engine() {
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::H, 0);
+        let engine = Engine::new();
+        let compiled = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0, 0], open: vec![0] })
+            .unwrap();
+        let (batch, _) = compiled.execute_batch(&[0, 0]).unwrap();
+        assert_eq!(batch.rank(), 1);
+        let h = 1.0 / 2f64.sqrt();
+        assert!((batch.get(&[0]).abs() - h).abs() < 1e-10);
+        let (samples, _) = compiled.sample(&[0, 0], 2000, 7).unwrap();
+        assert_eq!(samples.len(), 2000);
+        let ones = samples.iter().filter(|s| s[0] == 1).count();
+        assert!(ones > 800 && ones < 1200, "biased sampling: {ones}/2000");
+    }
+
+    #[test]
+    fn zero_distribution_surfaces_as_typed_error() {
+        // X|0> = |1>, so projecting the open qubit's complement onto |0>
+        // still leaves mass; instead fix qubit 0 of a CNOT pair to the
+        // impossible branch: qubit 1 of |00>+|11> with qubit 0 fixed to 1
+        // has mass only on |1>, so sample over qubit 1 with qubit 0 fixed
+        // works. To force an all-zero tensor, use a circuit with a
+        // deterministic output and fix the projector to the orthogonal bit.
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::X, 0); // state is |1>⊗|0>
+        let engine = Engine::new();
+        let compiled = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0, 0], open: vec![1] })
+            .unwrap();
+        // Fixing qubit 0 to 0 projects onto an impossible branch: the batch
+        // over qubit 1 is all zeros.
+        assert_eq!(compiled.sample(&[0, 0], 10, 1).unwrap_err(), Error::ZeroAmplitudeDistribution);
+    }
+}

@@ -1,0 +1,130 @@
+//! Crate-wide error type.
+//!
+//! Every fallible operation of the engine API returns [`Error`] instead of
+//! panicking: input validation happens at the API boundary (bitstring
+//! lengths, bit values, open-qubit sets), shape misuse is caught when an
+//! execute method is called on a [`crate::CompiledCircuit`] of the wrong
+//! output shape, and internal executor invariant violations surface as
+//! [`Error::Internal`] rather than `expect` panics.
+
+use qtn_circuit::RebindError;
+
+/// Everything that can go wrong when compiling or executing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A bitstring's length does not match the circuit's qubit count.
+    BitstringLength {
+        /// Qubits in the circuit.
+        expected: usize,
+        /// Length of the bitstring that was supplied.
+        got: usize,
+    },
+    /// A bit value other than 0 or 1 was supplied.
+    InvalidBit {
+        /// The offending qubit position.
+        qubit: usize,
+        /// The offending value.
+        value: u8,
+    },
+    /// An open-qubit id is not a valid qubit of the circuit.
+    OpenQubitOutOfRange {
+        /// The offending qubit id.
+        qubit: usize,
+        /// Qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// The same qubit appears twice in an open-qubit set.
+    DuplicateOpenQubit {
+        /// The duplicated qubit id.
+        qubit: usize,
+    },
+    /// An execute method was called on a compiled circuit of a different
+    /// output shape (e.g. `execute_amplitude` on an open-output compilation).
+    OutputShapeMismatch {
+        /// What the compiled circuit was compiled for.
+        compiled: &'static str,
+        /// What the call requires.
+        requested: &'static str,
+    },
+    /// Sampling was requested from an amplitude tensor whose total
+    /// probability mass is zero (every amplitude is exactly 0).
+    ZeroAmplitudeDistribution,
+    /// An internal invariant of the executor was violated. Seeing this is a
+    /// bug in the planner/executor, not a user error.
+    Internal(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BitstringLength { expected, got } => {
+                write!(f, "bitstring length {got} does not match {expected} qubits")
+            }
+            Error::InvalidBit { qubit, value } => {
+                write!(f, "bit value {value} for qubit {qubit} is not 0 or 1")
+            }
+            Error::OpenQubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "open qubit {qubit} out of range for {num_qubits} qubits")
+            }
+            Error::DuplicateOpenQubit { qubit } => {
+                write!(f, "open qubit {qubit} listed more than once")
+            }
+            Error::OutputShapeMismatch { compiled, requested } => {
+                write!(
+                    f,
+                    "compiled circuit has {compiled} output shape but the call requires {requested}"
+                )
+            }
+            Error::ZeroAmplitudeDistribution => {
+                write!(f, "cannot sample from an all-zero amplitude tensor")
+            }
+            Error::Internal(msg) => write!(f, "internal executor invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<RebindError> for Error {
+    fn from(e: RebindError) -> Self {
+        match e {
+            RebindError::BitstringLength { expected, got } => {
+                Error::BitstringLength { expected, got }
+            }
+            RebindError::InvalidBit { qubit, value } => Error::InvalidBit { qubit, value },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::BitstringLength { expected: 5, got: 3 }, "length 3"),
+            (Error::InvalidBit { qubit: 2, value: 7 }, "qubit 2"),
+            (Error::OpenQubitOutOfRange { qubit: 9, num_qubits: 4 }, "out of range"),
+            (Error::DuplicateOpenQubit { qubit: 1 }, "more than once"),
+            (
+                Error::OutputShapeMismatch { compiled: "open", requested: "amplitude" },
+                "output shape",
+            ),
+            (Error::ZeroAmplitudeDistribution, "all-zero"),
+            (Error::Internal("oops".into()), "oops"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn rebind_errors_convert() {
+        let e: Error = RebindError::BitstringLength { expected: 2, got: 1 }.into();
+        assert_eq!(e, Error::BitstringLength { expected: 2, got: 1 });
+        let e: Error = RebindError::InvalidBit { qubit: 0, value: 3 }.into();
+        assert_eq!(e, Error::InvalidBit { qubit: 0, value: 3 });
+    }
+}

@@ -6,15 +6,30 @@
 //! subtask results are combined — *summed* over sliced edges that are
 //! interior to the network (the two halves of a contracted dimension) and
 //! *stacked* over sliced edges that are open outputs (the paper's
-//! slice-then-stack treatment of the big output tensor). Subtasks run on a
-//! pool of scoped worker threads, one partial accumulator per worker, and a
-//! single reduction at the end mirrors the one allReduce of the Sunway runs.
+//! slice-then-stack treatment of the big output tensor).
+//!
+//! Subtasks run on a persistent [`WorkerPool`] — threads are spawned once
+//! and reused across executions, mirroring the paper's long-lived processes
+//! sweeping millions of slice subtasks. Work is distributed by *static
+//! striding* (worker `w` takes subtasks `w, w + W, w + 2W, …`) and the
+//! per-worker partial accumulators are reduced in worker order, so repeated
+//! executions of the same plan produce **bit-identical** results — the
+//! floating-point summation order never depends on thread scheduling.
 
+use crate::error::Error;
 use crate::planner::SimulationPlan;
-use parking_lot::Mutex;
 use qtn_tensor::{contract_pair, Complex64, ContractionSpec, DenseTensor, IndexId};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Replacement leaf data keyed by network vertex id (position in
+/// `SimulationPlan::build.nodes`). Produced by
+/// [`qtn_circuit::NetworkBuild::rebind_output`]: executing a plan with
+/// overrides retargets the output projectors without touching the plan.
+pub type LeafOverrides = HashMap<usize, DenseTensor<Complex64>>;
 
 /// Executor options.
 #[derive(Debug, Clone)]
@@ -28,7 +43,10 @@ pub struct ExecutorConfig {
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4), max_subtasks: 0 }
+        Self {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_subtasks: 0,
+        }
     }
 }
 
@@ -60,18 +78,135 @@ impl ExecutionStats {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads.
+///
+/// Threads are spawned once and block on a shared queue; submitting a job
+/// costs one channel send instead of a thread spawn. Dropping the pool closes
+/// the queue and joins every worker.
+pub struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    // Take the next job while holding the lock, run it after
+                    // releasing so other workers can dequeue concurrently.
+                    let job = match receiver.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => break,
+                    };
+                    match job {
+                        // A panicking job must not take the worker thread
+                        // down with it — the pool is long-lived and shared.
+                        // The panicked execution observes the failure through
+                        // its dropped result channel.
+                        Ok(job) => {
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                        Err(_) => break, // queue closed: pool is shutting down
+                    }
+                })
+            })
+            .collect();
+        Self { sender: Some(sender), handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Enqueue a job. Jobs run in submission order as workers become free.
+    pub fn submit(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("worker pool already shut down")
+            .send(job)
+            .expect("worker pool threads terminated");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take()); // close the queue, workers drain and exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide pool backing the plain [`execute_plan`] /
+/// [`try_execute_plan`] entry points. Engines own their own pools; this one
+/// exists so the free functions stop paying a thread-spawn per execution.
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        WorkerPool::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
 /// Execute a plan, returning the contracted tensor (a scalar amplitude for
 /// closed networks, a tensor over the open indices otherwise) and statistics.
+///
+/// Back-compat convenience over [`try_execute_plan`]; panics on internal
+/// executor errors (which indicate planner/executor bugs, not bad input).
 pub fn execute_plan(
     plan: &SimulationPlan,
     config: &ExecutorConfig,
 ) -> (DenseTensor<Complex64>, ExecutionStats) {
+    try_execute_plan(plan, config).expect("plan execution failed")
+}
+
+/// Execute a plan on the process-wide worker pool.
+pub fn try_execute_plan(
+    plan: &SimulationPlan,
+    config: &ExecutorConfig,
+) -> Result<(DenseTensor<Complex64>, ExecutionStats), Error> {
+    let plan = Arc::new(plan.clone());
+    execute_on_pool(global_pool(), &plan, &Arc::new(LeafOverrides::new()), config)
+}
+
+/// Execute a plan on an explicit [`WorkerPool`], substituting `overrides`
+/// for the corresponding leaf tensors (the compile-once / execute-many path:
+/// the overrides retarget output projectors without re-planning).
+///
+/// Deterministic: subtasks are statically strided over `config.workers`
+/// logical workers and partials are reduced in worker order, so the result
+/// is bit-identical across runs regardless of thread scheduling.
+pub fn execute_on_pool(
+    pool: &WorkerPool,
+    plan: &Arc<SimulationPlan>,
+    overrides: &Arc<LeafOverrides>,
+    config: &ExecutorConfig,
+) -> Result<(DenseTensor<Complex64>, ExecutionStats), Error> {
     let open = plan.network.open_indices();
-    let sliced = &plan.slicing.sliced;
-    let sliced_open: Vec<IndexId> =
-        sliced.iter().copied().filter(|e| open.contains(e)).collect();
-    let sliced_closed: Vec<IndexId> =
-        sliced.iter().copied().filter(|e| !open.contains(e)).collect();
+    let sliced = plan.slicing.sliced.clone();
+    let sliced_open: Vec<IndexId> = sliced.iter().copied().filter(|e| open.contains(e)).collect();
 
     let total_subtasks = 1usize << sliced.len();
     let run_subtasks = if config.max_subtasks == 0 {
@@ -81,50 +216,66 @@ pub fn execute_plan(
     };
     let workers = config.workers.max(1).min(run_subtasks.max(1));
 
-    // Output accumulator over the open indices.
+    // Output accumulator over the open indices (sorted for a canonical
+    // axis order; callers permute to their preferred order).
     let output_indices: qtn_tensor::IndexSet = {
         let mut root = plan.tree.node(plan.tree.root()).indices.clone();
         root.sort_unstable();
         root.into_iter().collect()
     };
-    let accumulator = Mutex::new(DenseTensor::<Complex64>::zeros(output_indices.clone()));
-    let next = AtomicUsize::new(0);
-    let flops_total = AtomicUsize::new(0);
 
     let start = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                // Per-worker partial accumulator; merged once at the end.
-                let mut partial = DenseTensor::<Complex64>::zeros(output_indices.clone());
-                let mut local_flops = 0u64;
-                loop {
-                    let assignment = next.fetch_add(1, Ordering::Relaxed);
-                    if assignment >= run_subtasks {
-                        break;
-                    }
-                    let (result, flops) =
-                        run_subtask(plan, sliced, assignment);
-                    local_flops += flops;
-                    merge_subtask(
-                        &mut partial,
-                        &result,
-                        &sliced_open,
-                        &sliced_closed,
-                        sliced,
-                        assignment,
-                    );
+    let (tx, rx) = mpsc::channel::<(usize, Result<(DenseTensor<Complex64>, u64), Error>)>();
+    for worker in 0..workers {
+        let tx = tx.clone();
+        let plan = Arc::clone(plan);
+        let overrides = Arc::clone(overrides);
+        let sliced = sliced.clone();
+        let sliced_open = sliced_open.clone();
+        let output_indices = output_indices.clone();
+        pool.submit(Box::new(move || {
+            let outcome = (|| {
+                let mut partial = DenseTensor::<Complex64>::zeros(output_indices);
+                let mut flops = 0u64;
+                // Static striding: worker w owns subtasks w, w+W, w+2W, …
+                let mut assignment = worker;
+                while assignment < run_subtasks {
+                    let (result, subtask_flops) =
+                        run_subtask(&plan, &overrides, &sliced, assignment)?;
+                    flops += subtask_flops;
+                    merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
+                    assignment += workers;
                 }
-                flops_total.fetch_add(local_flops as usize, Ordering::Relaxed);
-                let mut acc = accumulator.lock();
-                acc.accumulate(&partial);
-            });
-        }
-    });
+                Ok((partial, flops))
+            })();
+            let _ = tx.send((worker, outcome));
+        }));
+    }
+    drop(tx);
+
+    // Collect every worker's partial, then reduce in worker order so the
+    // summation order is schedule-independent.
+    let mut partials: Vec<Option<(DenseTensor<Complex64>, u64)>> =
+        (0..workers).map(|_| None).collect();
+    for _ in 0..workers {
+        let (worker, outcome) = rx
+            .recv()
+            .map_err(|_| Error::Internal("an execution job panicked or was dropped".into()))?;
+        partials[worker] = Some(outcome?);
+    }
+    let mut partials = partials.into_iter();
+    let (mut result, mut flops) = partials
+        .next()
+        .flatten()
+        .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+    for slot in partials {
+        let (partial, worker_flops) =
+            slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+        result.accumulate(&partial);
+        flops += worker_flops;
+    }
     let wall = start.elapsed().as_secs_f64();
 
-    let result = accumulator.into_inner();
-    let flops = flops_total.load(Ordering::Relaxed) as u64;
     let stats = ExecutionStats {
         subtasks_run: run_subtasks,
         subtasks_total: total_subtasks,
@@ -137,25 +288,26 @@ pub fn execute_plan(
         },
         workers,
     };
-    (result, stats)
+    Ok((result, stats))
 }
 
 /// Execute one slice assignment: slice the leaves, replay the tree schedule.
 /// Returns the subtask's root tensor and its flop count.
 fn run_subtask(
     plan: &SimulationPlan,
+    overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
-) -> (DenseTensor<Complex64>, u64) {
+) -> Result<(DenseTensor<Complex64>, u64), Error> {
     // Slots indexed by tree-node id.
     let num_nodes = plan.tree.nodes().len();
     let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
     let mut flops = 0u64;
 
-    // Leaves: slice away any sliced edges.
+    // Leaves: apply output-rebinding overrides, slice away any sliced edges.
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
         if let Some(vertex) = node.leaf_vertex {
-            let mut t = plan.build.nodes[vertex].data.clone();
+            let mut t = overrides.get(&vertex).unwrap_or(&plan.build.nodes[vertex].data).clone();
             for (pos, &e) in sliced.iter().enumerate() {
                 if t.indices().contains(e) {
                     let bit = ((assignment >> pos) & 1) as u8;
@@ -168,13 +320,18 @@ fn run_subtask(
 
     // Replay the schedule.
     for (l, r, out) in plan.tree.schedule() {
-        let a = slots[l].take().expect("left operand missing");
-        let b = slots[r].take().expect("right operand missing");
+        let a =
+            slots[l].take().ok_or_else(|| Error::Internal(format!("left operand {l} missing")))?;
+        let b =
+            slots[r].take().ok_or_else(|| Error::Internal(format!("right operand {r} missing")))?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
         slots[out] = Some(contract_pair(&a, &b));
     }
-    (slots[plan.tree.root()].take().expect("root missing"), flops)
+    slots[plan.tree.root()]
+        .take()
+        .ok_or_else(|| Error::Internal("root tensor missing".into()))
+        .map(|root| (root, flops))
 }
 
 /// Merge a subtask result into the partial accumulator: stack over sliced
@@ -183,7 +340,6 @@ fn merge_subtask(
     partial: &mut DenseTensor<Complex64>,
     result: &DenseTensor<Complex64>,
     sliced_open: &[IndexId],
-    _sliced_closed: &[IndexId],
     sliced: &[IndexId],
     assignment: usize,
 ) {
@@ -208,8 +364,7 @@ fn merge_subtask(
         let bit = ((assignment >> pos) & 1) as u8;
         let mut axes: Vec<IndexId> = vec![e];
         axes.extend(expanded.indices().iter());
-        let mut bigger =
-            DenseTensor::<Complex64>::zeros(qtn_tensor::IndexSet::new(axes));
+        let mut bigger = DenseTensor::<Complex64>::zeros(qtn_tensor::IndexSet::new(axes));
         expanded.stack_into(&mut bigger, e, bit);
         expanded = bigger;
     }
@@ -281,6 +436,97 @@ mod tests {
         let (a, _) = execute_plan(&plan, &ExecutorConfig { workers: 1, max_subtasks: 0 });
         let (b, _) = execute_plan(&plan, &ExecutorConfig { workers: 8, max_subtasks: 0 });
         assert!((a.scalar_value() - b.scalar_value()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn repeated_pooled_executions_are_bit_identical() {
+        let circuit = RqcConfig::small(3, 3, 8, 9).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        let pool = WorkerPool::new(4);
+        let config = ExecutorConfig { workers: 4, max_subtasks: 0 };
+        let overrides = Arc::new(LeafOverrides::new());
+        let (a, _) = execute_on_pool(&pool, &plan, &overrides, &config).unwrap();
+        for _ in 0..5 {
+            let (b, _) = execute_on_pool(&pool, &plan, &overrides, &config).unwrap();
+            assert_eq!(a.data(), b.data(), "pooled execution must be deterministic");
+        }
+    }
+
+    #[test]
+    fn overrides_retarget_the_output_projectors() {
+        let circuit = RqcConfig::small(2, 3, 6, 12).build();
+        let n = circuit.num_qubits();
+        let template = vec![0u8; n];
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(template),
+            &PlannerConfig { target_rank: 8, ..Default::default() },
+        ));
+        let pool = WorkerPool::new(2);
+        let config = ExecutorConfig { workers: 2, max_subtasks: 0 };
+        let sv = StateVector::simulate(&circuit);
+        let patterns: Vec<Vec<u8>> = vec![
+            vec![1; n],
+            (0..n).map(|q| (q % 2) as u8).collect(),
+            (0..n).map(|q| ((q + 1) % 2) as u8).collect(),
+        ];
+        for bits in patterns {
+            let overrides: LeafOverrides =
+                plan.build.rebind_output(&bits).unwrap().into_iter().collect();
+            let (result, _) = execute_on_pool(&pool, &plan, &Arc::new(overrides), &config).unwrap();
+            let expected = sv.amplitude(&bits);
+            assert!(
+                (result.scalar_value() - expected).abs() < 1e-8,
+                "rebound amplitude mismatch for {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..4 {
+            pool.submit(Box::new(|| panic!("job blew up")));
+        }
+        // Every worker has met a panic; the pool must still serve jobs.
+        let (tx, rx) = mpsc::channel();
+        pool.submit(Box::new(move || {
+            let _ = tx.send(42);
+        }));
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)), Ok(42));
+        // And a pooled execution after the panics still succeeds.
+        let circuit = RqcConfig::small(2, 2, 4, 8).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 20, ..Default::default() },
+        ));
+        let config = ExecutorConfig { workers: 2, max_subtasks: 0 };
+        let result = execute_on_pool(&pool, &plan, &Arc::new(LeafOverrides::new()), &config);
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn worker_pool_runs_submitted_jobs() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                let _ = tx.send(i * i);
+            }));
+        }
+        drop(tx);
+        let mut results: Vec<usize> = rx.iter().collect();
+        results.sort_unstable();
+        assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! End-to-end lifetime-based tensor-network simulator.
 //!
 //! This crate ties the substrates together into the system the paper
-//! describes: the planner converts a circuit into a tensor network, finds a
-//! contraction path, extracts the stem, chooses a slicing set with the
-//! lifetime-based finder and refines it with simulated annealing; the
-//! executor then runs the `2^|S|` slice subtasks in parallel (scoped worker
-//! threads standing in for the Sunway processes), accumulates their results
-//! with a single reduction, and reports FLOP counts and timings that the
-//! machine model turns into full-system projections.
+//! describes, around a **compile-once / execute-many** API: [`Engine`] runs
+//! the planning pipeline (circuit → tensor network → contraction path →
+//! stem → lifetime slicing → SA refinement) exactly once per circuit/output
+//! shape and hands back a [`CompiledCircuit`]; every execute rebinds only
+//! the output-projector leaves and replays the `2^|S|` slice subtasks on
+//! the engine's persistent [`WorkerPool`], accumulating results with a
+//! deterministic reduction and reporting FLOP counts and timings through
+//! [`ExecutionReport`]. All fallible operations return [`Error`] instead of
+//! panicking. The legacy [`Simulator`] facade survives as a thin shim over
+//! the engine.
 
 #![warn(missing_docs)]
 
+pub mod engine;
+pub mod error;
 pub mod executor;
 pub mod planner;
 pub mod projection;
@@ -18,8 +23,13 @@ pub mod sampling;
 pub mod simulator;
 pub mod verify;
 
-pub use executor::{execute_plan, ExecutionStats, ExecutorConfig};
-pub use planner::{PlannerConfig, SimulationPlan, plan_simulation};
+pub use engine::{CompiledCircuit, Engine, ExecutionReport, OutputShape};
+pub use error::Error;
+pub use executor::{
+    execute_on_pool, execute_plan, try_execute_plan, ExecutionStats, ExecutorConfig, LeafOverrides,
+    WorkerPool,
+};
+pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
 pub use projection::{project_run, RunProjection};
 pub use sampling::sample_bitstrings;
 pub use simulator::Simulator;

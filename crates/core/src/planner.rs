@@ -8,13 +8,11 @@
 //! benchmark harness needs to report complexities and overheads.
 
 use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
-use qtn_slicing::{
-    lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan,
-};
 use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
+use qtn_slicing::{lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan};
 use qtn_tensornet::{
-    extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network,
-    ContractionTree, PathConfig, RefineObjective, Stem, TensorNetwork,
+    extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network, ContractionTree,
+    PathConfig, RefineObjective, Stem, TensorNetwork,
 };
 
 /// Planner options.
@@ -111,11 +109,8 @@ pub fn plan_simulation(
         // Adaptive path refinement (the paper's third contribution): subtree
         // rotations that never increase the cost and prefer LDM-friendly
         // absorptions.
-        let (refined_pairs, _report) = refine_path(
-            &tree,
-            RefineObjective::SunwayAdaptive { ldm_rank: 13 },
-            4,
-        );
+        let (refined_pairs, _report) =
+            refine_path(&tree, RefineObjective::SunwayAdaptive { ldm_rank: 13 }, 4);
         pairs = refined_pairs;
         tree = ContractionTree::from_pairs(&network, &pairs);
     }
@@ -190,16 +185,10 @@ mod tests {
     fn tighter_targets_slice_more() {
         let c = small_circuit(10, 4);
         let output = OutputSpec::Amplitude(vec![0; c.num_qubits()]);
-        let loose = plan_simulation(
-            &c,
-            &output,
-            &PlannerConfig { target_rank: 14, ..Default::default() },
-        );
-        let tight = plan_simulation(
-            &c,
-            &output,
-            &PlannerConfig { target_rank: 9, ..Default::default() },
-        );
+        let loose =
+            plan_simulation(&c, &output, &PlannerConfig { target_rank: 14, ..Default::default() });
+        let tight =
+            plan_simulation(&c, &output, &PlannerConfig { target_rank: 9, ..Default::default() });
         assert!(tight.slicing.len() >= loose.slicing.len());
     }
 

@@ -1,51 +1,56 @@
-//! High-level simulator API.
+//! Back-compat simulator facade.
 //!
-//! [`Simulator`] is the facade a downstream user interacts with: construct it
-//! from a circuit, optionally tune the planner/executor configuration, and
-//! ask for single amplitudes, batches of correlated amplitudes over a set of
-//! open qubits, or samples drawn from such a batch.
+//! [`Simulator`] predates the compile-once / execute-many [`Engine`] API and
+//! is kept as a thin shim over it: every method compiles through the
+//! engine's plan cache (so repeated calls of the same output shape no longer
+//! re-run the planner) and executes on the engine's persistent worker pool.
+//! Errors that the engine reports as [`crate::Error`] values surface here as
+//! panics, matching the facade's historical contract. New code should use
+//! [`Engine`] directly.
 
-use crate::executor::{execute_plan, ExecutionStats, ExecutorConfig};
-use crate::planner::{plan_simulation, PlannerConfig, SimulationPlan};
-use crate::sampling::sample_bitstrings;
+use crate::engine::Engine;
+use crate::executor::{ExecutionStats, ExecutorConfig};
+use crate::planner::{PlannerConfig, SimulationPlan};
 use qtn_circuit::{Circuit, OutputSpec};
-use qtn_tensor::{Complex64, DenseTensor, IndexSet};
+use qtn_tensor::{Complex64, DenseTensor};
 
 /// A tensor-network quantum circuit simulator with lifetime-based slicing.
+///
+/// Thin wrapper over [`Engine`] + [`crate::CompiledCircuit`]; see the module
+/// docs for the relationship between the two APIs.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     circuit: Circuit,
-    planner: PlannerConfig,
-    executor: ExecutorConfig,
+    engine: Engine,
     last_stats: Option<ExecutionStats>,
 }
 
 impl Simulator {
     /// Create a simulator for a circuit with default configuration.
     pub fn new(circuit: Circuit) -> Self {
-        Self {
-            circuit,
-            planner: PlannerConfig::default(),
-            executor: ExecutorConfig::default(),
-            last_stats: None,
-        }
+        Self { circuit, engine: Engine::new(), last_stats: None }
     }
 
     /// Replace the planner configuration.
     pub fn with_planner(mut self, planner: PlannerConfig) -> Self {
-        self.planner = planner;
+        self.engine = self.engine.with_planner(planner);
         self
     }
 
     /// Replace the executor configuration.
     pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
-        self.executor = executor;
+        self.engine = self.engine.with_executor(executor);
         self
     }
 
     /// The circuit being simulated.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The engine backing this facade.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
     }
 
     /// Statistics of the most recent execution, if any.
@@ -55,34 +60,51 @@ impl Simulator {
 
     /// Build the plan for a given output without executing it (useful for
     /// inspecting complexity, slicing sets and overheads).
+    ///
+    /// # Panics
+    /// Panics if `output` is invalid for the circuit (wrong bitstring
+    /// length, bad bit values, out-of-range or duplicate open qubits).
     pub fn plan(&self, output: &OutputSpec) -> SimulationPlan {
-        plan_simulation(&self.circuit, output, &self.planner)
+        let compiled = self.engine.compile(&self.circuit, output).expect("invalid output spec");
+        compiled.plan().clone()
     }
 
     /// Compute a single amplitude ⟨bits|C|0…0⟩.
+    ///
+    /// # Panics
+    /// Panics if `bits` is invalid for the circuit. Prefer
+    /// [`crate::CompiledCircuit::execute_amplitude`] for a fallible variant.
     pub fn amplitude(&mut self, bits: &[u8]) -> Complex64 {
-        let plan = self.plan(&OutputSpec::Amplitude(bits.to_vec()));
-        let (result, stats) = execute_plan(&plan, &self.executor);
-        self.last_stats = Some(stats);
-        result.scalar_value()
+        let compiled = self
+            .engine
+            .compile(&self.circuit, &OutputSpec::Amplitude(bits.to_vec()))
+            .expect("invalid amplitude spec");
+        let (value, report) = compiled.execute_amplitude(bits).expect("execution failed");
+        self.last_stats = Some(report.stats);
+        value
     }
 
     /// Compute the tensor of amplitudes over `open` qubits with the remaining
     /// qubits fixed to `fixed` — the "correlated samples" workload. The
     /// returned tensor's axes are ordered by ascending qubit id.
+    ///
+    /// # Panics
+    /// Panics if `fixed`/`open` are invalid for the circuit. Prefer
+    /// [`crate::CompiledCircuit::execute_batch`] for a fallible variant.
     pub fn batch_amplitudes(&mut self, fixed: &[u8], open: &[usize]) -> DenseTensor<Complex64> {
-        let plan = self.plan(&OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() });
-        let (result, stats) = execute_plan(&plan, &self.executor);
-        self.last_stats = Some(stats);
-        // Order axes by qubit id.
-        let mut pairs = plan.build.open_indices.clone();
-        pairs.sort_by_key(|&(q, _)| q);
-        let order: IndexSet = pairs.iter().map(|&(_, id)| id).collect();
-        qtn_tensor::permute::permute_to_order(&result, &order)
+        let spec = OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() };
+        let compiled = self.engine.compile(&self.circuit, &spec).expect("invalid open-batch spec");
+        let (batch, report) = compiled.execute_batch(fixed).expect("execution failed");
+        self.last_stats = Some(report.stats);
+        batch
     }
 
     /// Draw `count` correlated samples of the `open` qubits (with the other
     /// qubits fixed to `fixed`) from the exact output distribution.
+    ///
+    /// # Panics
+    /// Panics on invalid input or an all-zero distribution. Prefer
+    /// [`crate::CompiledCircuit::sample`] for a fallible variant.
     pub fn sample(
         &mut self,
         fixed: &[u8],
@@ -90,8 +112,11 @@ impl Simulator {
         count: usize,
         seed: u64,
     ) -> Vec<Vec<u8>> {
-        let amplitudes = self.batch_amplitudes(fixed, open);
-        sample_bitstrings(&amplitudes, count, seed)
+        let spec = OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() };
+        let compiled = self.engine.compile(&self.circuit, &spec).expect("invalid open-batch spec");
+        let (samples, report) = compiled.sample(fixed, count, seed).expect("sampling failed");
+        self.last_stats = Some(report.stats);
+        samples
     }
 }
 
@@ -111,6 +136,9 @@ mod tests {
         assert!((sim.amplitude(&[1, 1, 1]) - qtn_tensor::c64(h, 0.0)).abs() < 1e-10);
         assert!(sim.amplitude(&[1, 0, 1]).abs() < 1e-10);
         assert!(sim.last_stats().is_some());
+        // The facade now rides the engine's plan cache: three amplitudes of
+        // the same shape plan once.
+        assert_eq!(sim.engine().plans_built(), 1);
     }
 
     #[test]
@@ -118,10 +146,8 @@ mod tests {
         let circuit = RqcConfig::small(2, 3, 6, 9).build();
         let n = circuit.num_qubits();
         let sv = StateVector::simulate(&circuit);
-        let mut sim = Simulator::new(circuit).with_planner(PlannerConfig {
-            target_rank: 8,
-            ..Default::default()
-        });
+        let mut sim = Simulator::new(circuit)
+            .with_planner(PlannerConfig { target_rank: 8, ..Default::default() });
         let open = vec![1usize, 3usize];
         let batch = sim.batch_amplitudes(&vec![0; n], &open);
         assert_eq!(batch.rank(), 2);

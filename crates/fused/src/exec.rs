@@ -60,11 +60,8 @@ fn finish_report(
     time.gemm = flops as f64 / (arch.peak_flops_per_cg * model.gemm_efficiency);
     let ai = if dma_bytes > 0.0 { flops as f64 / dma_bytes } else { f64::INFINITY };
     let total = time.total();
-    let efficiency = if total > 0.0 {
-        (flops as f64 / total) / arch.peak_flops_per_cg
-    } else {
-        0.0
-    };
+    let efficiency =
+        if total > 0.0 { (flops as f64 / total) / arch.peak_flops_per_cg } else { 0.0 };
     ExecutionReport {
         time,
         flops,
@@ -108,8 +105,7 @@ pub fn execute_step_by_step(
         flops += spec.flops();
         current = result;
     }
-    let report =
-        finish_report(model, time, flops, dma_bytes, 0.0, segment.len().max(1));
+    let report = finish_report(model, time, flops, dma_bytes, 0.0, segment.len().max(1));
     (current, report)
 }
 
@@ -126,8 +122,7 @@ pub fn execute_fused(
 ) -> (DenseTensor<Complex64>, ExecutionReport, SecondaryPlan) {
     let arch = model.arch();
     let stem_sets = segment.stem_index_sets();
-    let branch_sets: Vec<IndexSet> =
-        segment.branches.iter().map(|b| b.indices().clone()).collect();
+    let branch_sets: Vec<IndexSet> = segment.branches.iter().map(|b| b.indices().clone()).collect();
     let plan = plan_secondary_slicing(&stem_sets, &branch_sets, ldm_rank);
 
     let mut time = TimeBreakdown::default();
@@ -169,8 +164,7 @@ pub fn execute_fused(
                 current = contract_pair(&current, branch);
             }
         } else {
-            let mut output =
-                DenseTensor::<Complex64>::zeros(group_result_indices.clone());
+            let mut output = DenseTensor::<Complex64>::zeros(group_result_indices.clone());
             let num_subtasks = 1usize << group.sliced.len();
             for assignment in 0..num_subtasks {
                 // Slice the running stem tensor on the secondary indices.
@@ -192,14 +186,7 @@ pub fn execute_fused(
         }
     }
 
-    let report = finish_report(
-        model,
-        time,
-        flops,
-        dma_bytes,
-        rma_bytes,
-        plan.stem_roundtrips(),
-    );
+    let report = finish_report(model, time, flops, dma_bytes, rma_bytes, plan.stem_roundtrips());
     (current, report, plan)
 }
 

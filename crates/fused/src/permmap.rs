@@ -45,18 +45,10 @@ pub fn operand_permutations(
     right: &IndexSet,
 ) -> (PermutePlan, PermutePlan, PermutationStats) {
     let spec = ContractionSpec::new(left, right);
-    let left_target: IndexSet = spec
-        .left_free
-        .iter()
-        .chain(spec.contracted.iter())
-        .copied()
-        .collect();
-    let right_target: IndexSet = spec
-        .contracted
-        .iter()
-        .chain(spec.right_free.iter())
-        .copied()
-        .collect();
+    let left_target: IndexSet =
+        spec.left_free.iter().chain(spec.contracted.iter()).copied().collect();
+    let right_target: IndexSet =
+        spec.contracted.iter().chain(spec.right_free.iter()).copied().collect();
 
     let perm_for = |from: &IndexSet, to: &IndexSet| -> Vec<usize> {
         to.iter().map(|id| from.position(id).expect("index missing")).collect()

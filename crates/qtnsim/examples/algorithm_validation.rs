@@ -7,69 +7,84 @@
 //! Three standard algorithm building blocks are simulated through the full
 //! lifetime-based TNC pipeline and checked against their analytic behaviour:
 //! GHZ state preparation, the quantum Fourier transform, and a QAOA ansatz
-//! on a ring graph.
+//! on a ring graph. Each block compiles its circuit once and sweeps many
+//! amplitudes/samples over the compiled plan.
 //!
 //! Run with `cargo run --release --example algorithm_validation`.
 
 use qtnsim::circuit::{ghz, qaoa_ansatz, qft};
-use qtnsim::core::{PlannerConfig, Simulator};
+use qtnsim::core::{Engine, ExecutorConfig, PlannerConfig};
+use qtnsim::OutputSpec;
 
-fn main() {
+fn main() -> Result<(), qtnsim::Error> {
     // --- GHZ --------------------------------------------------------------
     let n = 12;
-    let mut sim = Simulator::new(ghz(n));
-    let a_zeros = sim.amplitude(&vec![0; n]);
-    let a_ones = sim.amplitude(&vec![1; n]);
-    let a_mixed = sim.amplitude(&{
+    let engine = Engine::new();
+    let compiled = engine.compile(&ghz(n), &OutputSpec::Amplitude(vec![0; n]))?;
+    let (a_zeros, _) = compiled.execute_amplitude(&vec![0; n])?;
+    let (a_ones, _) = compiled.execute_amplitude(&vec![1; n])?;
+    let (a_mixed, _) = compiled.execute_amplitude(&{
         let mut b = vec![0; n];
         b[3] = 1;
         b
-    });
+    })?;
     println!("GHZ({n}):");
     println!("  |0…0> amplitude = {a_zeros}   (expect 1/√2 ≈ 0.7071)");
     println!("  |1…1> amplitude = {a_ones}   (expect 1/√2 ≈ 0.7071)");
     println!("  mixed amplitude  = {a_mixed}   (expect 0)");
+    println!("  (planner ran {} time(s) for all three)", engine.plans_built());
 
     // --- QFT ----------------------------------------------------------------
     let n = 10;
-    let mut sim = Simulator::new(qft(n))
-        .with_planner(PlannerConfig { target_rank: 12, ..Default::default() });
+    let engine = Engine::with_configs(
+        PlannerConfig { target_rank: 12, ..Default::default() },
+        ExecutorConfig::default(),
+    );
+    let compiled = engine.compile(&qft(n), &OutputSpec::Amplitude(vec![0; n]))?;
     let uniform = 1.0 / (1u64 << n) as f64;
     let probe = [vec![0u8; n], vec![1u8; n]];
     println!("\nQFT({n}) applied to |0…0>:");
+    let mut last_report = None;
     for bits in probe {
-        let a = sim.amplitude(&bits);
+        let (a, report) = compiled.execute_amplitude(&bits)?;
         println!(
             "  |{}> probability = {:.6}   (expect uniform {:.6})",
             bits.iter().map(|b| char::from(b'0' + b)).collect::<String>(),
             a.norm_sqr(),
             uniform
         );
+        last_report = Some(report);
     }
-    let plan_stats = sim.last_stats().unwrap();
+    let report = last_report.expect("probed at least one bitstring");
     println!(
         "  ({} slice subtasks, {:.1} Mflop)",
-        plan_stats.subtasks_run,
-        plan_stats.flops as f64 / 1e6
+        report.stats.subtasks_run,
+        report.stats.flops as f64 / 1e6
     );
 
     // --- QAOA on a ring -----------------------------------------------------
     let n = 10;
     let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
     let circuit = qaoa_ansatz(n, &edges, 2, 0.35, 0.6);
-    let mut sim = Simulator::new(circuit)
-        .with_planner(PlannerConfig { target_rank: 12, ..Default::default() });
+    let engine = Engine::with_configs(
+        PlannerConfig { target_rank: 12, ..Default::default() },
+        ExecutorConfig::default(),
+    );
     // Expectation of the MaxCut cost over the exact output distribution,
     // estimated from correlated samples of all qubits.
-    let samples = sim.sample(&vec![0; n], &(0..n).collect::<Vec<_>>(), 20_000, 99);
+    let compiled = engine
+        .compile(&circuit, &OutputSpec::Open { fixed: vec![0; n], open: (0..n).collect() })?;
+    let (samples, _) = compiled.sample(&vec![0; n], 20_000, 99)?;
     let mean_cut: f64 = samples
         .iter()
-        .map(|bits| {
-            edges.iter().filter(|&&(a, b)| bits[a] != bits[b]).count() as f64
-        })
+        .map(|bits| edges.iter().filter(|&&(a, b)| bits[a] != bits[b]).count() as f64)
         .sum::<f64>()
         / samples.len() as f64;
     println!("\nQAOA(p=2) on a {n}-cycle, 20k correlated samples:");
     println!("  mean cut value = {mean_cut:.3} of {} edges", edges.len());
-    println!("  (random bitstrings would give {:.1}; the ansatz should do better)", edges.len() as f64 / 2.0);
+    println!(
+        "  (random bitstrings would give {:.1}; the ansatz should do better)",
+        edges.len() as f64 / 2.0
+    );
+    Ok(())
 }

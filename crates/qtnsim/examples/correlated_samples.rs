@@ -6,50 +6,50 @@
 //! Run with `cargo run --release --example correlated_samples`.
 
 use qtnsim::core::sampling::linear_xeb;
-use qtnsim::core::{ExecutorConfig, PlannerConfig, Simulator};
-use qtnsim::RqcConfig;
+use qtnsim::core::{Engine, ExecutorConfig, PlannerConfig};
+use qtnsim::{OutputSpec, RqcConfig};
 
-fn main() {
+fn main() -> Result<(), qtnsim::Error> {
     // A 12-qubit, 10-cycle random circuit: big enough to need slicing with a
     // tight memory target, small enough to verify exactly.
     let config = RqcConfig::small(3, 4, 10, 7);
     let circuit = config.build();
     let n = circuit.num_qubits();
 
-    let mut sim = Simulator::new(circuit)
-        .with_planner(PlannerConfig { target_rank: 9, ..Default::default() })
-        .with_executor(ExecutorConfig::default());
+    let engine = Engine::with_configs(
+        PlannerConfig { target_rank: 9, ..Default::default() },
+        ExecutorConfig::default(),
+    );
 
     // Open six qubits: the batch tensor holds 2^6 correlated amplitudes.
     let open: Vec<usize> = (0..6).collect();
     let fixed = vec![0u8; n];
 
+    // Compile once; the sampling sweep below reuses the plan.
+    let compiled =
+        engine.compile(&circuit, &OutputSpec::Open { fixed: fixed.clone(), open: open.clone() })?;
+
     println!("Computing the batch of 2^{} correlated amplitudes...", open.len());
-    let batch = sim.batch_amplitudes(&fixed, &open);
-    let stats = sim.last_stats().unwrap().clone();
+    let (batch, report) = compiled.execute_batch(&fixed)?;
     println!(
         "  {} slice subtasks, {:.1} Mflop, {:.3} s wall on {} workers",
-        stats.subtasks_run,
-        stats.flops as f64 / 1e6,
-        stats.wall_seconds,
-        stats.workers
+        report.stats.subtasks_run,
+        report.stats.flops as f64 / 1e6,
+        report.stats.wall_seconds,
+        report.stats.workers
     );
     let norm: f64 = batch.norm_sqr();
     println!("  total probability mass of the batch: {norm:.6}");
 
     println!("Drawing 100,000 correlated samples...");
-    let samples = qtnsim::core::sample_bitstrings(&batch, 100_000, 1234);
+    let samples = qtnsim::core::sample_bitstrings(&batch, 100_000, 1234)?;
     let xeb = linear_xeb(&batch, &samples);
     println!("  linear XEB of the samples against the exact distribution: {xeb:.4}");
     println!("  (≈ 1 + small porter-thomas fluctuations for faithful correlated samples)");
 
     // Show the five most likely outcomes.
-    let mut ranked: Vec<(usize, f64)> = batch
-        .data()
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (i, a.norm_sqr() / norm))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> =
+        batch.data().iter().enumerate().map(|(i, a)| (i, a.norm_sqr() / norm)).collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\nMost likely outcomes of qubits {open:?}:");
     for (idx, p) in ranked.into_iter().take(5) {
@@ -58,4 +58,5 @@ fn main() {
             .collect();
         println!("  |{bits}>  p = {p:.4}");
     }
+    Ok(())
 }

@@ -19,7 +19,10 @@ fn main() {
         roofline.ridge_point()
     );
 
-    println!("\n{:<22} {:>10} {:>12} {:>12} {:>10} {:>10}", "segment", "steps", "step-by-step", "fused", "AI (step)", "AI (fused)");
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "segment", "steps", "step-by-step", "fused", "AI (step)", "AI (fused)"
+    );
     for (label, start_rank, steps) in [
         ("rank 14, 8 steps", 14usize, 8usize),
         ("rank 15, 10 steps", 15, 10),

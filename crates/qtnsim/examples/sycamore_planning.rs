@@ -70,10 +70,7 @@ fn main() {
         refined.len(),
         slicing_overhead(&stem, &refined.sliced)
     );
-    println!(
-        "  greedy baseline (cotengra-style, whole tree): {:>3} edges",
-        baseline.len()
-    );
+    println!("  greedy baseline (cotengra-style, whole tree): {:>3} edges", baseline.len());
     println!(
         "\nSubtasks generated for the distributed sweep: 2^{} = {:.3e}",
         refined.len(),

@@ -4,7 +4,7 @@
 
 use qtnsim::core::{execute_plan, plan_simulation, ExecutorConfig, PlannerConfig, Simulator};
 use qtnsim::statevector::StateVector;
-use qtnsim::{Circuit, Gate, OutputSpec, RqcConfig};
+use qtnsim::{Circuit, Engine, Gate, OutputSpec, RqcConfig};
 
 fn amplitude_via_tn(circuit: &Circuit, bits: &[u8], target_rank: usize) -> qtnsim::Complex64 {
     let plan = plan_simulation(
@@ -33,6 +33,25 @@ fn random_circuits_match_statevector_across_slicing_targets() {
             );
         }
     }
+}
+
+#[test]
+fn engine_compile_once_execute_many_round_trip() {
+    // The acceptance criterion of the engine API: compile once, sweep many
+    // bitstrings, match the state-vector reference to 1e-8, and never run
+    // the planner more than once.
+    let circuit = RqcConfig::small(2, 4, 8, 11).build();
+    let n = circuit.num_qubits();
+    let sv = StateVector::simulate(&circuit);
+    let engine = Engine::new().with_planner(PlannerConfig { target_rank: 8, ..Default::default() });
+    let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+    for k in 0..32usize {
+        let bits: Vec<u8> = (0..n).map(|q| ((k >> (q % 5)) & 1) as u8).collect();
+        let (amp, report) = compiled.execute_amplitude(&bits).unwrap();
+        assert!((amp - sv.amplitude(&bits)).abs() < 1e-8, "engine amplitude mismatch for {bits:?}");
+        assert_eq!(report.stats.subtasks_run, compiled.plan().num_subtasks());
+    }
+    assert_eq!(engine.plans_built(), 1, "32 amplitudes must share one plan");
 }
 
 #[test]

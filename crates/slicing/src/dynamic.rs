@@ -44,8 +44,7 @@ pub fn dynamic_slicer(stem: &Stem, target_rank: usize) -> DynamicResult {
             tensors.push(&s.result);
         }
         for t in tensors {
-            let remaining: Vec<IndexId> =
-                t.iter().copied().filter(|e| !sset.contains(e)).collect();
+            let remaining: Vec<IndexId> = t.iter().copied().filter(|e| !sset.contains(e)).collect();
             if remaining.len() > target_rank {
                 candidates.extend(remaining);
             }

@@ -43,10 +43,7 @@ pub fn greedy_slicer(tree: &ContractionTree, target_rank: usize) -> SlicingPlan 
                 candidates.extend(remaining);
             }
         }
-        assert!(
-            !candidates.is_empty(),
-            "no candidate edges although a tensor exceeds the target"
-        );
+        assert!(!candidates.is_empty(), "no candidate edges although a tensor exceeds the target");
 
         // One pass over the internal nodes: total sliced cost with the
         // current set, and for every candidate edge the summed cost terms of

@@ -99,12 +99,8 @@ impl LifetimeTable {
 
     /// Edges carried by a given stem tensor position.
     pub fn edges_at(&self, pos: usize) -> Vec<IndexId> {
-        let mut v: Vec<IndexId> = self
-            .lifetimes
-            .iter()
-            .filter(|(_, l)| l.contains(pos))
-            .map(|(&e, _)| e)
-            .collect();
+        let mut v: Vec<IndexId> =
+            self.lifetimes.iter().filter(|(_, l)| l.contains(pos)).map(|(&e, _)| e).collect();
         v.sort_unstable();
         v
     }
@@ -148,12 +144,11 @@ pub fn compute_lifetimes(stem: &Stem) -> LifetimeTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qtn_tensornet::{
-        extract_stem, greedy_path, simplify_network, ContractionTree, PathConfig,
-        TensorNetwork,
-    };
     use qtn_circuit::{circuit_to_network, OutputSpec, RqcConfig};
     use qtn_tensor::IndexSet;
+    use qtn_tensornet::{
+        extract_stem, greedy_path, simplify_network, ContractionTree, PathConfig, TensorNetwork,
+    };
 
     fn small_stem() -> Stem {
         // Chain: T0[0] - T1[0,1] - T2[1,2] - T3[2,3] - T4[3]

@@ -115,10 +115,8 @@ fn drop_useless_edges(
         let mut i = 0;
         while i < sliced.len() {
             let e = sliced[i];
-            let covers_some = table
-                .get(e)
-                .map(|l| crit.iter().any(|&p| l.contains(p)))
-                .unwrap_or(false);
+            let covers_some =
+                table.get(e).map(|l| crit.iter().any(|&p| l.contains(p))).unwrap_or(false);
             if !covers_some {
                 // Removing must stay feasible; verify before committing.
                 let mut trial = sliced.clone();
@@ -249,8 +247,9 @@ mod tests {
     fn useless_edges_are_dropped() {
         let stem = rqc_stem(3, 4, 10, 43);
         let full = sliced_max_rank(&stem, &[]);
-        let target = full; // no slicing needed at all
-        // Hand the refiner a plan that slices one random edge anyway.
+        // No slicing needed at all; hand the refiner a plan that slices one
+        // random edge anyway.
+        let target = full;
         let table = compute_lifetimes(&stem);
         let some_edge = table.edges().next().unwrap();
         let plan = SlicingPlan::new(vec![some_edge], target);

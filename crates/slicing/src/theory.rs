@@ -33,8 +33,7 @@ pub fn theorem1_witness(
         return None;
     }
     let c1 = sliced_log_cost(stem, s1);
-    let intersection: Vec<IndexId> =
-        s1.iter().copied().filter(|e| s2.contains(e)).collect();
+    let intersection: Vec<IndexId> = s1.iter().copied().filter(|e| s2.contains(e)).collect();
     if intersection.is_empty() {
         return None;
     }
@@ -54,8 +53,7 @@ pub fn theorem1_witness(
     for drop in 0..s1.len() {
         let mut base: Vec<IndexId> = s1.to_vec();
         base.remove(drop);
-        if sliced_max_rank(stem, &base) <= target_rank
-            && sliced_log_cost(stem, &base) <= c1 + 1e-12
+        if sliced_max_rank(stem, &base) <= target_rank && sliced_log_cost(stem, &base) <= c1 + 1e-12
         {
             return Some(base);
         }
@@ -117,12 +115,8 @@ mod tests {
             // Restrict the greedy set to edges that live on the stem so both
             // sets slice the same structure.
             let stem_edges = stem.all_indices();
-            let greedy_on_stem: Vec<_> = greedy
-                .sliced
-                .iter()
-                .copied()
-                .filter(|e| stem_edges.contains(e))
-                .collect();
+            let greedy_on_stem: Vec<_> =
+                greedy.sliced.iter().copied().filter(|e| stem_edges.contains(e)).collect();
             if greedy_on_stem.len() == ours.len() + 1
                 && sliced_max_rank(&stem, &greedy_on_stem) <= target
                 && greedy_on_stem.iter().any(|e| ours.sliced.contains(e))
@@ -132,8 +126,7 @@ mod tests {
                 let w = witness.unwrap();
                 assert_eq!(w.len(), greedy_on_stem.len() - 1);
                 assert!(
-                    slicing_overhead(&stem, &w)
-                        <= slicing_overhead(&stem, &greedy_on_stem) + 1e-9
+                    slicing_overhead(&stem, &w) <= slicing_overhead(&stem, &greedy_on_stem) + 1e-9
                 );
                 checked += 1;
             }

@@ -186,15 +186,11 @@ mod tests {
         let sv = StateVector::simulate(&c);
         let n = c.num_qubits();
         for pattern in [0usize, 1, 0b101010 % (1 << n), (1 << n) - 1] {
-            let bits: Vec<u8> =
-                (0..n).map(|q| ((pattern >> (n - 1 - q)) & 1) as u8).collect();
+            let bits: Vec<u8> = (0..n).map(|q| ((pattern >> (n - 1 - q)) & 1) as u8).collect();
             let build = circuit_to_network(&c, &OutputSpec::Amplitude(bits.clone()));
             let tn = contract_network_naive(&build).scalar_value();
             let reference = sv.amplitude(&bits);
-            assert!(
-                (tn - reference).abs() < 1e-9,
-                "bits {bits:?}: TN {tn:?} vs SV {reference:?}"
-            );
+            assert!((tn - reference).abs() < 1e-9, "bits {bits:?}: TN {tn:?} vs SV {reference:?}");
         }
     }
 

@@ -72,8 +72,8 @@ impl SunwayArch {
     /// quotes rank 13.
     pub fn max_ldm_rank(&self) -> usize {
         let elements = self.ldm_per_cpe / 8; // complex<f32> = 8 bytes
-        // Reserve three quarters of the LDM for double buffers, maps and the
-        // output tile, as the fused kernel does, leaving 2^13 elements.
+                                             // Reserve three quarters of the LDM for double buffers, maps and the
+                                             // output tile, as the fused kernel does, leaving 2^13 elements.
         ((elements / 4) as f64).log2().floor() as usize
     }
 

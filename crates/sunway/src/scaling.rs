@@ -43,12 +43,7 @@ impl ScalingModel {
     /// reduced object is the batch of correlated amplitudes (a few MB), and
     /// the tree allReduce pays a logarithmic latency term.
     pub fn new(subtask_time: f64, reduce_bytes: f64) -> Self {
-        Self {
-            subtask_time,
-            reduce_bytes,
-            reduce_latency: 5e-6,
-            network_bandwidth: 10e9,
-        }
+        Self { subtask_time, reduce_bytes, reduce_latency: 5e-6, network_bandwidth: 10e9 }
     }
 
     /// Time of the final allReduce across `nodes` nodes.
@@ -63,7 +58,7 @@ impl ScalingModel {
     /// Wall-clock time to run `subtasks` subtasks on `nodes` nodes (strong
     /// scaling: fixed total work).
     pub fn strong_time(&self, subtasks: usize, nodes: usize) -> f64 {
-        let per_node = (subtasks + nodes - 1) / nodes;
+        let per_node = subtasks.div_ceil(nodes);
         per_node as f64 * self.subtask_time + self.allreduce_time(nodes)
     }
 
@@ -101,7 +96,13 @@ impl ScalingModel {
                 let t = self.strong_time(subtasks, n);
                 // Weak-scaling efficiency: ideal time is constant.
                 let efficiency = t1 / t;
-                ScalingPoint { nodes: n, subtasks, time: t, speedup: efficiency * n as f64, efficiency }
+                ScalingPoint {
+                    nodes: n,
+                    subtasks,
+                    time: t,
+                    speedup: efficiency * n as f64,
+                    efficiency,
+                }
             })
             .collect()
     }

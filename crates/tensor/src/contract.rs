@@ -74,10 +74,7 @@ impl ContractionSpec {
 /// by the right operand's free indices. If no indices are shared this is an
 /// outer product; if all indices are shared the result is a scalar
 /// (rank-0 tensor).
-pub fn contract_pair<T: Scalar>(
-    left: &DenseTensor<T>,
-    right: &DenseTensor<T>,
-) -> DenseTensor<T> {
+pub fn contract_pair<T: Scalar>(left: &DenseTensor<T>, right: &DenseTensor<T>) -> DenseTensor<T> {
     let spec = ContractionSpec::new(left.indices(), right.indices());
     contract_pair_with_spec(left, right, &spec)
 }
@@ -91,18 +88,10 @@ pub fn contract_pair_with_spec<T: Scalar>(
     // Permute left to [left_free..., contracted...] and right to
     // [contracted..., right_free...], then a single GEMM yields the output
     // in [left_free..., right_free...] order directly.
-    let left_order: IndexSet = spec
-        .left_free
-        .iter()
-        .chain(spec.contracted.iter())
-        .copied()
-        .collect();
-    let right_order: IndexSet = spec
-        .contracted
-        .iter()
-        .chain(spec.right_free.iter())
-        .copied()
-        .collect();
+    let left_order: IndexSet =
+        spec.left_free.iter().chain(spec.contracted.iter()).copied().collect();
+    let right_order: IndexSet =
+        spec.contracted.iter().chain(spec.right_free.iter()).copied().collect();
 
     let lp = permute_to_order(left, &left_order);
     let rp = permute_to_order(right, &right_order);

@@ -131,8 +131,7 @@ impl<T: Scalar> DenseTensor<T> {
             .position(index)
             .unwrap_or_else(|| panic!("index {index} not present in {:?}", self.indices));
         let rank = self.rank();
-        let out_axes: Vec<IndexId> =
-            self.indices.iter().filter(|&a| a != index).collect();
+        let out_axes: Vec<IndexId> = self.indices.iter().filter(|&a| a != index).collect();
         let out_indices = IndexSet::new(out_axes);
         let mut out = vec![T::zero(); out_indices.len()];
 
@@ -267,10 +266,7 @@ mod tests {
         let s = t.slice_index(1, 1);
         assert_eq!(s.indices().axes(), &[0, 2]);
         // offsets with bit1 (stride 2) set: 2,3,6,7
-        assert_eq!(
-            s.data(),
-            &[c64(2.0, 0.0), c64(3.0, 0.0), c64(6.0, 0.0), c64(7.0, 0.0)]
-        );
+        assert_eq!(s.data(), &[c64(2.0, 0.0), c64(3.0, 0.0), c64(6.0, 0.0), c64(7.0, 0.0)]);
     }
 
     #[test]
@@ -312,10 +308,7 @@ mod tests {
 
     #[test]
     fn norm_sqr_sums_all() {
-        let t = DenseTensor::from_data(
-            IndexSet::new(vec![0]),
-            vec![c64(3.0, 0.0), c64(0.0, 4.0)],
-        );
+        let t = DenseTensor::from_data(IndexSet::new(vec![0]), vec![c64(3.0, 0.0), c64(0.0, 4.0)]);
         assert_eq!(t.norm_sqr(), 25.0);
     }
 }

@@ -186,14 +186,7 @@ fn block_kernel<T: Scalar>(
 
 /// Reference kernel (naive triple loop) used by tests and kept public so the
 /// benchmark harness can measure the speedup of the optimised paths.
-pub fn gemm_reference<T: Scalar>(
-    a: &[T],
-    b: &[T],
-    c: &mut [T],
-    m: usize,
-    n: usize,
-    k: usize,
-) {
+pub fn gemm_reference<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
     check_shapes(a, b, c, m, n, k);
     for i in 0..m {
         for j in 0..n {

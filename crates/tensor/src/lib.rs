@@ -22,8 +22,8 @@ pub mod index;
 pub mod permute;
 
 pub use complex::{c32, c64, Complex32, Complex64, Scalar};
-pub use convert::{to_double, to_single};
 pub use contract::{contract_pair, ContractionSpec};
+pub use convert::{to_double, to_single};
 pub use dense::DenseTensor;
 pub use index::{IndexId, IndexSet};
 pub use permute::{permute, permute_into, PermutePlan};

@@ -71,10 +71,7 @@ pub fn permute_into<T: Scalar>(tensor: &DenseTensor<T>, perm: &[usize], dst: &mu
 ///
 /// Convenience wrapper used by the contraction code: computes the axis
 /// permutation from the current order to `target` and applies it.
-pub fn permute_to_order<T: Scalar>(
-    tensor: &DenseTensor<T>,
-    target: &IndexSet,
-) -> DenseTensor<T> {
+pub fn permute_to_order<T: Scalar>(tensor: &DenseTensor<T>, target: &IndexSet) -> DenseTensor<T> {
     assert_eq!(tensor.rank(), target.rank(), "target order rank mismatch");
     let perm: Vec<usize> = target
         .iter()
@@ -127,9 +124,7 @@ impl PermutePlan {
     /// Build a plan with a full precomputed map.
     pub fn full(rank: usize, perm: &[usize]) -> Self {
         check_perm(perm, rank);
-        let map = (0..1usize << rank)
-            .map(|i| permuted_offset(i, perm, rank) as u32)
-            .collect();
+        let map = (0..1usize << rank).map(|i| permuted_offset(i, perm, rank) as u32).collect();
         Self { rank, perm: perm.to_vec(), map, kind: MapKind::Full }
     }
 
@@ -154,15 +149,12 @@ impl PermutePlan {
         if trailing >= leading {
             let blocks = 1usize << (rank - trailing);
             let block_len = 1usize << trailing;
-            let map = (0..blocks)
-                .map(|b| permuted_offset(b * block_len, perm, rank) as u32)
-                .collect();
+            let map =
+                (0..blocks).map(|b| permuted_offset(b * block_len, perm, rank) as u32).collect();
             Self { rank, perm: perm.to_vec(), map, kind: MapKind::Reduced { trailing } }
         } else {
             let low = rank - leading;
-            let map = (0..1usize << low)
-                .map(|i| permuted_offset(i, perm, rank) as u32)
-                .collect();
+            let map = (0..1usize << low).map(|i| permuted_offset(i, perm, rank) as u32).collect();
             Self { rank, perm: perm.to_vec(), map, kind: MapKind::ReducedLeading { leading } }
         }
     }
@@ -278,10 +270,7 @@ mod tests {
         let p = permute(&t, &[1, 0]);
         assert_eq!(p.indices().axes(), &[1, 0]);
         // [[0,1],[2,3]] transposed -> [[0,2],[1,3]]
-        assert_eq!(
-            p.data(),
-            &[c64(0.0, 0.0), c64(2.0, 0.0), c64(1.0, 0.0), c64(3.0, 0.0)]
-        );
+        assert_eq!(p.data(), &[c64(0.0, 0.0), c64(2.0, 0.0), c64(1.0, 0.0), c64(3.0, 0.0)]);
     }
 
     #[test]

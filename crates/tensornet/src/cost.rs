@@ -41,7 +41,7 @@ mod tests {
     fn add_dominant_term() {
         // 2^60 + 2^0 is essentially 2^60.
         let r = log2_add(60.0, 0.0);
-        assert!(r >= 60.0 && r < 60.0 + 1e-9);
+        assert!((60.0..60.0 + 1e-9).contains(&r));
     }
 
     #[test]

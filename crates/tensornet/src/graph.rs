@@ -27,12 +27,8 @@ pub struct TensorNetwork {
 impl TensorNetwork {
     /// Build a network from per-tensor index sets.
     pub fn new(tensors: &[IndexSet]) -> Self {
-        let num_indices = tensors
-            .iter()
-            .flat_map(|t| t.iter())
-            .max()
-            .map(|m| m as usize + 1)
-            .unwrap_or(0);
+        let num_indices =
+            tensors.iter().flat_map(|t| t.iter()).max().map(|m| m as usize + 1).unwrap_or(0);
         let mut edge_vertices = vec![Vec::new(); num_indices];
         let mut vertices = Vec::with_capacity(tensors.len());
         for (v, t) in tensors.iter().enumerate() {

@@ -175,9 +175,7 @@ pub fn random_greedy_paths(
         results.push((tree, pairs));
     }
     results.sort_by(|a, b| {
-        a.0.total_log_cost()
-            .partial_cmp(&b.0.total_log_cost())
-            .unwrap_or(std::cmp::Ordering::Equal)
+        a.0.total_log_cost().partial_cmp(&b.0.total_log_cost()).unwrap_or(std::cmp::Ordering::Equal)
     });
     results
 }
@@ -280,26 +278,27 @@ fn bisect(network: &TensorNetwork, verts: &[usize], seed: u64) -> (Vec<usize>, V
 
     // One refinement sweep: move a vertex across if it reduces the cut and
     // keeps balance.
-    let cut_delta = |network: &TensorNetwork, left: &[usize], right: &[usize], v: usize, to_left: bool| {
-        let mut delta = 0i64;
-        for u in network.neighbors(v) {
-            let u_left = in_set(left, u);
-            let u_right = in_set(right, u);
-            if !(u_left || u_right) {
-                continue;
+    let cut_delta =
+        |network: &TensorNetwork, left: &[usize], right: &[usize], v: usize, to_left: bool| {
+            let mut delta = 0i64;
+            for u in network.neighbors(v) {
+                let u_left = in_set(left, u);
+                let u_right = in_set(right, u);
+                if !(u_left || u_right) {
+                    continue;
+                }
+                // Moving v toward u's side removes a cut edge, away adds one.
+                let same_after = if to_left { u_left } else { u_right };
+                let same_before = if to_left { u_right } else { u_left };
+                if same_after {
+                    delta -= 1;
+                }
+                if same_before {
+                    delta += 1;
+                }
             }
-            // Moving v toward u's side removes a cut edge, away adds one.
-            let same_after = if to_left { u_left } else { u_right };
-            let same_before = if to_left { u_right } else { u_left };
-            if same_after {
-                delta -= 1;
-            }
-            if same_before {
-                delta += 1;
-            }
-        }
-        delta
-    };
+            delta
+        };
     let max_imbalance = verts.len() / 10 + 1;
     for _ in 0..2 {
         let mut moved = false;
@@ -307,7 +306,7 @@ fn bisect(network: &TensorNetwork, verts: &[usize], seed: u64) -> (Vec<usize>, V
             let v_in_left = in_set(&left, v);
             if v_in_left && left.len() > right.len().saturating_sub(max_imbalance) + 1 {
                 if cut_delta(network, &left, &right, v, false) < 0
-                    && left.len() - 1 >= verts.len() / 2 - max_imbalance
+                    && left.len() > verts.len() / 2 - max_imbalance
                 {
                     left.retain(|&x| x != v);
                     right.push(v);
@@ -316,7 +315,7 @@ fn bisect(network: &TensorNetwork, verts: &[usize], seed: u64) -> (Vec<usize>, V
             } else if !v_in_left
                 && right.len() > left.len().saturating_sub(max_imbalance) + 1
                 && cut_delta(network, &left, &right, v, true) < 0
-                && right.len() - 1 >= verts.len() / 2 - max_imbalance
+                && right.len() > verts.len() / 2 - max_imbalance
             {
                 right.retain(|&x| x != v);
                 left.push(v);

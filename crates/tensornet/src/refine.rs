@@ -81,8 +81,7 @@ impl MutableTree {
         if let Some((l, r)) = self.children[n] {
             let li = &self.indices[l];
             let ri = &self.indices[r];
-            let mut out: Vec<IndexId> =
-                li.iter().copied().filter(|e| !ri.contains(e)).collect();
+            let mut out: Vec<IndexId> = li.iter().copied().filter(|e| !ri.contains(e)).collect();
             out.extend(ri.iter().copied().filter(|e| !li.contains(e)));
             out.sort_unstable();
             self.indices[n] = out;
@@ -207,7 +206,9 @@ pub fn refine_path(
                     }
                 };
                 // Candidate re-associations: ((x,other),y) and ((y,other),x).
-                let mut best: Option<(f64, usize, (usize, usize), (usize, usize))> = None;
+                // (delta, penalty, internal children, parent children)
+                type Candidate = (f64, usize, (usize, usize), (usize, usize));
+                let mut best: Option<Candidate> = None;
                 for (a, b) in [(x, y), (y, x)] {
                     // internal := (a, other); p := (internal, b)
                     t.children[internal] = Some((a, other));
@@ -223,11 +224,7 @@ pub fn refine_path(
                     };
                     let improves = local < before_local - 1e-12
                         || (local < before_local + 1e-12 && penalty < before_penalty);
-                    if improves
-                        && best
-                            .map(|(bl, _, _, _)| local < bl)
-                            .unwrap_or(true)
-                    {
+                    if improves && best.map(|(bl, _, _, _)| local < bl).unwrap_or(true) {
                         best = Some((local, internal, (a, other), (internal, b)));
                     }
                 }
@@ -260,8 +257,7 @@ pub fn refine_path(
     }
 
     let cost_after = t.total_log_cost();
-    let leaf_vertices: Vec<Option<usize>> =
-        tree.nodes().iter().map(|n| n.leaf_vertex).collect();
+    let leaf_vertices: Vec<Option<usize>> = tree.nodes().iter().map(|n| n.leaf_vertex).collect();
     let pairs = t.to_pairs(&leaf_vertices);
     (pairs, RefineReport { cost_before, cost_after, rotations, sweeps })
 }
@@ -274,7 +270,12 @@ mod tests {
     use crate::simplify::simplify_network;
     use qtn_circuit::{circuit_to_network, OutputSpec, RqcConfig};
 
-    fn planned(rows: usize, cols: usize, cycles: usize, seed: u64) -> (TensorNetwork, ContractionTree) {
+    fn planned(
+        rows: usize,
+        cols: usize,
+        cycles: usize,
+        seed: u64,
+    ) -> (TensorNetwork, ContractionTree) {
         let cfg = RqcConfig::small(rows, cols, cycles, seed);
         let c = cfg.build();
         let b = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0; c.num_qubits()]));

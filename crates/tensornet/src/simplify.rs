@@ -84,10 +84,8 @@ mod tests {
     #[test]
     fn keeps_high_rank_tensors() {
         // Two rank-3 tensors sharing one edge must not be merged.
-        let mut g = TensorNetwork::new(&[
-            IndexSet::new(vec![0, 1, 2]),
-            IndexSet::new(vec![2, 3, 4]),
-        ]);
+        let mut g =
+            TensorNetwork::new(&[IndexSet::new(vec![0, 1, 2]), IndexSet::new(vec![2, 3, 4])]);
         let pairs = simplify_network(&mut g);
         assert!(pairs.is_empty());
         assert_eq!(g.num_active(), 2);

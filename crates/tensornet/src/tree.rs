@@ -253,9 +253,9 @@ mod tests {
         let tree = ContractionTree::from_pairs(&g, &[(2, 3), (0, 1), (4, 5)]);
         let sched = tree.schedule();
         let mut done = vec![false; tree.nodes().len()];
-        for n in 0..tree.nodes().len() {
+        for (n, is_done) in done.iter_mut().enumerate() {
             if tree.node(n).is_leaf() {
-                done[n] = true;
+                *is_done = true;
             }
         }
         for (l, r, out) in sched {

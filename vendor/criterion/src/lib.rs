@@ -1,0 +1,249 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so this small local
+//! crate implements the benchmark-facing API the workspace's benches are
+//! written against: `Criterion::benchmark_group`, `BenchmarkGroup`
+//! (`sample_size` / `throughput` / `bench_function` / `bench_with_input` /
+//! `finish`), `Bencher::iter`, `BenchmarkId`, `Throughput` and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a fixed warm-up plus `sample_size` timed
+//! iterations and prints mean / best wall-clock per iteration (and
+//! throughput when one was declared).
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: a function name and/or a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Declared throughput of one benchmark iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures; handed to the benchmark functions.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+    best: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of samples and record timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up iteration (cache warming, lazy init).
+        hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(f());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        self.mean = total / self.samples as u32;
+        self.best = best;
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { samples: self.sample_size, mean: Duration::ZERO, best: Duration::ZERO };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run one benchmark that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { samples: self.sample_size, mean: Duration::ZERO, best: Duration::ZERO };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finish the group (stateless in this stand-in; kept for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut line = format!(
+            "{:<40} mean {:>12?}  best {:>12?}",
+            format!("{}/{}", self.name, id),
+            bencher.mean,
+            bencher.best
+        );
+        if let Some(tp) = self.throughput {
+            let secs = bencher.mean.as_secs_f64();
+            if secs > 0.0 {
+                match tp {
+                    Throughput::Elements(n) => {
+                        let _ = write!(line, "  {:>10.3} Melem/s", n as f64 / secs / 1e6);
+                    }
+                    Throughput::Bytes(n) => {
+                        let _ =
+                            write!(line, "  {:>10.3} MiB/s", n as f64 / secs / (1 << 20) as f64);
+                    }
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Run a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.benchmark_group(name);
+        let mut bencher =
+            Bencher { samples: group.sample_size, mean: Duration::ZERO, best: Duration::ZERO };
+        f(&mut bencher);
+        let id = BenchmarkId::from_parameter("bench");
+        group.report(&id, &bencher);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Generate `main` from one or more `criterion_group!` outputs.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0usize;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &x| {
+            b.iter(|| assert_eq!(x, 7));
+        });
+    }
+}
