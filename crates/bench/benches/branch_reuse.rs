@@ -1,0 +1,80 @@
+//! The stem-only sweep vs the full per-subtask replay.
+//!
+//! The paper's §4.2 observation: only the stem varies across slice
+//! assignments, so branches can be pre-contracted once per plan and the
+//! override-dependent frontier once per execution. `stem_only` executes a
+//! compiled plan with partial-contraction reuse enabled (the branch cache is
+//! warmed before timing, matching the amortized regime of a long sweep);
+//! `full_replay` forces the pre-reuse behaviour of re-contracting the whole
+//! tree in every one of the `2^|S|` subtasks. The gap widens with `|S|`:
+//! doubling the subtask count doubles the redundant branch work the reuse
+//! layer avoids.
+//!
+//! One circuit (3x4 qubits, 10 cycles) is planned at three memory targets to
+//! sweep `|S| ∈ {2, 4, 6}` — i.e. 4, 16 and 64 subtasks per execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qtn_circuit::{OutputSpec, RqcConfig};
+use qtnsim_core::{Engine, ExecutorConfig, PlannerConfig};
+
+/// `(target_rank, |S|)` pairs for the 3x4x10 seed-5 circuit; the bench
+/// asserts the planner still produces these slicing sets.
+const TARGETS: [(usize, usize); 3] = [(10, 2), (8, 4), (6, 6)];
+
+fn executor(reuse: bool) -> ExecutorConfig {
+    ExecutorConfig { workers: 4, max_subtasks: 0, reuse }
+}
+
+fn bench_branch_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_reuse");
+    group.sample_size(10);
+    let circuit = RqcConfig::small(3, 4, 10, 5).build();
+    let n = circuit.num_qubits();
+    let bits: Vec<Vec<u8>> =
+        (0..4).map(|k| (0..n).map(|q| ((k >> (q % 2)) & 1) as u8).collect()).collect();
+
+    for (target_rank, sliced_edges) in TARGETS {
+        let planner = PlannerConfig { target_rank, ..Default::default() };
+        let subtasks = 1usize << sliced_edges;
+        group.throughput(Throughput::Elements((bits.len() * subtasks) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("stem_only", format!("S{sliced_edges}_{subtasks}sub")),
+            &planner,
+            |b, planner| {
+                let engine = Engine::with_configs(planner.clone(), executor(true));
+                let compiled =
+                    engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).expect("compile");
+                assert_eq!(compiled.plan().slicing.len(), sliced_edges);
+                // Warm the plan-lifetime branch cache so the timing reflects
+                // the amortized sweep, not the one-off build.
+                compiled.execute_amplitude(&vec![0; n]).expect("warmup");
+                b.iter(|| {
+                    bits.iter()
+                        .map(|bs| compiled.execute_amplitude(bs).expect("execute").0)
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("full_replay", format!("S{sliced_edges}_{subtasks}sub")),
+            &planner,
+            |b, planner| {
+                let engine = Engine::with_configs(planner.clone(), executor(false));
+                let compiled =
+                    engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).expect("compile");
+                assert_eq!(compiled.plan().slicing.len(), sliced_edges);
+                b.iter(|| {
+                    bits.iter()
+                        .map(|bs| compiled.execute_amplitude(bs).expect("execute").0)
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_reuse);
+criterion_main!(benches);

@@ -26,7 +26,16 @@ fn bench_strong_scaling(c: &mut Criterion) {
             continue;
         }
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks }))
+            b.iter(|| {
+                // Full replay: the bench measures how the per-subtask sweep
+                // scales with workers; the reuse path would prepend a serial
+                // frontier build to every call and shrink the parallel
+                // portion to the stem, capping the apparent speedup.
+                execute_plan(
+                    &plan,
+                    &ExecutorConfig { workers: w, max_subtasks: subtasks, reuse: false },
+                )
+            })
         });
     }
     group.finish();
@@ -52,7 +61,16 @@ fn bench_weak_scaling(c: &mut Criterion) {
         }
         let subtasks = (per_worker * workers).min(plan.num_subtasks());
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| execute_plan(&plan, &ExecutorConfig { workers: w, max_subtasks: subtasks }))
+            b.iter(|| {
+                // Full replay: the bench measures how the per-subtask sweep
+                // scales with workers; the reuse path would prepend a serial
+                // frontier build to every call and shrink the parallel
+                // portion to the stem, capping the apparent speedup.
+                execute_plan(
+                    &plan,
+                    &ExecutorConfig { workers: w, max_subtasks: subtasks, reuse: false },
+                )
+            })
         });
     }
     group.finish();

@@ -38,8 +38,13 @@ fn main() {
     );
 
     // Measure the per-subtask cost by running a bounded number of subtasks.
-    let (_, stats) =
-        execute_plan(&plan, &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks });
+    // Force the full per-subtask replay: the projection multiplies this cost
+    // by the whole 2^|S| sweep, so it must measure a standalone subtask, not
+    // a stem-only replay plus an amortized one-off cache build.
+    let (_, stats) = execute_plan(
+        &plan,
+        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks, reuse: false },
+    );
     let subtask_time = stats.seconds_per_subtask;
     println!(
         "# measured {} subtasks on 1 worker: {:.6} s per subtask, {:.1} Mflop per subtask",

@@ -69,8 +69,13 @@ fn main() {
         &OutputSpec::Amplitude(vec![0; 16]),
         &PlannerConfig { target_rank: 10, ..Default::default() },
     );
-    let (_, cal_stats) =
-        execute_plan(&cal_plan, &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks });
+    // Full replay: the calibration extrapolates per-subtask cost across the
+    // whole sweep, so it must not fold the one-off branch-cache build into
+    // the per-subtask figure (see fig11_scaling).
+    let (_, cal_stats) = execute_plan(
+        &cal_plan,
+        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks, reuse: false },
+    );
     println!(
         "# calibration: {} subtasks, {:.2} Gflop/s sustained on this host",
         cal_stats.subtasks_run,

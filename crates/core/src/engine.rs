@@ -14,6 +14,18 @@
 //! because only the projector leaves depend on the concrete bits, one cached
 //! plan serves every bitstring of that shape.
 //!
+//! On top of plan reuse sits **partial-contraction reuse** (the paper's
+//! stem-only sweep, §4.2): contractions that depend on neither a sliced
+//! edge nor an output projector are performed once in the plan's lifetime
+//! and memoized in its branch cache; contractions that depend only on the
+//! projectors are redone once per execute (they absorb the rebound bits);
+//! and only the stem — the slice-dependent spine — is replayed for each of
+//! the `2^|S|` subtasks. Rebinding never invalidates the branch cache (the
+//! cached tensors are projector-independent by construction), which is why
+//! the first execute of a compiled circuit typically does measurably more
+//! work than every later one. [`ExecutionReport::branch_cache_hit`] and
+//! [`ExecutionStats::branch_flops_reused`] make the effect observable.
+//!
 //! ```
 //! use qtnsim_core::{Engine, PlannerConfig};
 //! use qtn_circuit::{Circuit, Gate, OutputSpec};
@@ -22,11 +34,14 @@
 //! circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
 //! let engine = Engine::new();
 //! let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 0])).unwrap();
-//! let (a00, _) = compiled.execute_amplitude(&[0, 0]).unwrap();
+//! let (a00, first) = compiled.execute_amplitude(&[0, 0]).unwrap();
 //! let (a11, report) = compiled.execute_amplitude(&[1, 1]).unwrap();
 //! assert!((a00 - a11).abs() < 1e-12);
 //! assert!(report.stats.subtasks_run >= 1);
 //! assert_eq!(engine.plans_built(), 1); // planned once, executed twice
+//! assert!(!first.branch_cache_hit); // the first execute builds the branch cache…
+//! assert!(report.branch_cache_hit); // …every later execute reuses it
+//! assert_eq!(report.stats.branch_contractions, 0);
 //! ```
 
 use crate::error::Error;
@@ -43,10 +58,19 @@ use std::sync::{Arc, Mutex};
 /// concurrently.
 #[derive(Debug, Clone)]
 pub struct ExecutionReport {
-    /// Executor measurements (subtasks, flops, wall time, workers).
+    /// Executor measurements (subtasks, per-phase flops, wall time, workers).
     pub stats: ExecutionStats,
     /// Whether the plan behind this execution came from the engine's cache.
     pub plan_cache_hit: bool,
+    /// Whether the plan-lifetime branch cache already existed when this
+    /// execution started. With reuse enabled (the default), it is `false`
+    /// only until some execution builds the cache — typically just the
+    /// first — and `true` afterwards. Note the cache belongs to the *plan*,
+    /// which engines share through the plan cache and across
+    /// [`Engine::with_executor`] reconfigurations: an execution with reuse
+    /// disabled never builds the cache itself, but can still report `true`
+    /// if another execution of the shared plan built it.
+    pub branch_cache_hit: bool,
 }
 
 /// The output *shape* a circuit was compiled for: the part of the
@@ -288,6 +312,21 @@ impl Engine {
     ///
     /// The concrete bits inside `output` only serve as the template the plan
     /// is built with; every execute method rebinds them.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    /// let engine = Engine::new();
+    /// let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 0]))?;
+    /// // Same circuit, same shape, different bits: served from the cache.
+    /// let again = engine.compile(&circuit, &OutputSpec::Amplitude(vec![1, 1]))?;
+    /// assert!(again.plan_cache_hit());
+    /// assert_eq!(engine.plans_built(), 1);
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
     pub fn compile(
         &self,
         circuit: &Circuit,
@@ -407,14 +446,32 @@ impl CompiledCircuit {
     ) -> Result<(DenseTensor<Complex64>, ExecutionReport), Error> {
         self.validate_bits(bits)?;
         let overrides: LeafOverrides = self.plan.build.rebind_output(bits)?.into_iter().collect();
+        let branch_cache_hit = self.plan.branch_cache_built();
         let (result, stats) =
             execute_on_pool(&self.pool, &self.plan, &Arc::new(overrides), &self.executor)?;
-        Ok((result, ExecutionReport { stats, plan_cache_hit: self.plan_cache_hit }))
+        Ok((
+            result,
+            ExecutionReport { stats, plan_cache_hit: self.plan_cache_hit, branch_cache_hit },
+        ))
     }
 
     /// Compute the amplitude ⟨bits|C|0…0⟩. Requires an
     /// [`OutputShape::Amplitude`] compilation; any bitstring executes on the
-    /// same plan — only the output projectors are rebound.
+    /// same plan — only the output projectors are rebound, and branch
+    /// tensors cached by earlier executions are reused.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    /// let compiled = Engine::new().compile(&circuit, &OutputSpec::Amplitude(vec![0, 0]))?;
+    /// let (amp, report) = compiled.execute_amplitude(&[1, 1])?;
+    /// assert!((amp.abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12); // Bell state
+    /// assert_eq!(report.stats.subtasks_run, report.stats.subtasks_total);
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
     pub fn execute_amplitude(&self, bits: &[u8]) -> Result<(Complex64, ExecutionReport), Error> {
         if self.shape != OutputShape::Amplitude {
             return Err(Error::OutputShapeMismatch {
@@ -430,6 +487,20 @@ impl CompiledCircuit {
     /// the remaining qubits projected onto `fixed` (entries at open qubits
     /// are ignored). Requires an [`OutputShape::Open`] compilation. The
     /// returned tensor's axes are ordered by ascending qubit id.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    /// let spec = OutputSpec::Open { fixed: vec![0, 0], open: vec![0, 1] };
+    /// let compiled = Engine::new().compile(&circuit, &spec)?;
+    /// let (batch, _) = compiled.execute_batch(&[0, 0])?;
+    /// assert_eq!(batch.rank(), 2); // all four Bell-state amplitudes at once
+    /// assert!((batch.get(&[0, 1]).abs()) < 1e-12);
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
     pub fn execute_batch(
         &self,
         fixed: &[u8],
@@ -450,7 +521,22 @@ impl CompiledCircuit {
 
     /// Draw `count` correlated samples of the compiled open qubits from the
     /// exact output distribution, with the remaining qubits projected onto
-    /// `fixed`. Requires an [`OutputShape::Open`] compilation.
+    /// `fixed`. Requires an [`OutputShape::Open`] compilation. Sampling is
+    /// deterministic in `seed`.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    /// let spec = OutputSpec::Open { fixed: vec![0, 0], open: vec![0, 1] };
+    /// let compiled = Engine::new().compile(&circuit, &spec)?;
+    /// let (samples, _) = compiled.sample(&[0, 0], 64, 7)?;
+    /// assert_eq!(samples.len(), 64);
+    /// assert!(samples.iter().all(|s| s[0] == s[1])); // Bell correlations
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
     pub fn sample(
         &self,
         fixed: &[u8],
@@ -593,7 +679,11 @@ mod tests {
         let engine = Engine::new();
         engine.compile(&circuit, &spec).unwrap();
         assert_eq!(engine.plans_built(), 1);
-        let engine = engine.with_executor(ExecutorConfig { workers: 2, max_subtasks: 0 });
+        let engine = engine.with_executor(ExecutorConfig {
+            workers: 2,
+            max_subtasks: 0,
+            ..Default::default()
+        });
         // Reconfiguring the pool must not drop cached plans or counters.
         assert_eq!(engine.plans_built(), 1);
         let again = engine.compile(&circuit, &spec).unwrap();

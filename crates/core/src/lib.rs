@@ -5,10 +5,14 @@
 //! the planning pipeline (circuit → tensor network → contraction path →
 //! stem → lifetime slicing → SA refinement) exactly once per circuit/output
 //! shape and hands back a [`CompiledCircuit`]; every execute rebinds only
-//! the output-projector leaves and replays the `2^|S|` slice subtasks on
+//! the output-projector leaves and sweeps the `2^|S|` slice subtasks on
 //! the engine's persistent [`WorkerPool`], accumulating results with a
 //! deterministic reduction and reporting FLOP counts and timings through
-//! [`ExecutionReport`]. All fallible operations return [`Error`] instead of
+//! [`ExecutionReport`]. The sweep is *stem-only* (§4.2 of the paper):
+//! slice-invariant branches are pre-contracted once per plan into the
+//! [`BranchCache`], projector-dependent frontiers once per execution, and
+//! only the slice-dependent stem replays per subtask — bit-identically to
+//! a full replay. All fallible operations return [`Error`] instead of
 //! panicking. The legacy [`Simulator`] facade survives as a thin shim over
 //! the engine.
 
@@ -26,8 +30,8 @@ pub mod verify;
 pub use engine::{CompiledCircuit, Engine, ExecutionReport, OutputShape};
 pub use error::Error;
 pub use executor::{
-    execute_on_pool, execute_plan, try_execute_plan, ExecutionStats, ExecutorConfig, LeafOverrides,
-    WorkerPool,
+    execute_on_pool, execute_plan, try_execute_plan, BranchCache, ExecutionStats, ExecutorConfig,
+    LeafOverrides, WorkerPool,
 };
 pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
 pub use projection::{project_run, RunProjection};

@@ -7,13 +7,15 @@
 //! executor needs to run the sliced contraction, and everything the
 //! benchmark harness needs to report complexities and overheads.
 
+use crate::executor::BranchCache;
 use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
 use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
 use qtn_slicing::{lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan};
 use qtn_tensornet::{
-    extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network, ContractionTree,
-    PathConfig, RefineObjective, Stem, TensorNetwork,
+    classify_nodes, extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network,
+    ContractionTree, NodeClassification, PathConfig, RefineObjective, Stem, TensorNetwork,
 };
+use std::sync::{Arc, OnceLock};
 
 /// Planner options.
 #[derive(Debug, Clone)]
@@ -68,6 +70,16 @@ pub struct SimulationPlan {
     pub log_cost: f64,
     /// Slicing overhead (Eq. 2) of the chosen set on the stem.
     pub overhead: f64,
+    /// Per-node slice/override dependency classes of the contraction tree,
+    /// driving the executor's stem-only sweep (which contractions run once
+    /// per plan, once per execution, or per subtask).
+    pub classification: NodeClassification,
+    /// Lazily built plan-lifetime cache of Branch-class tensors. Built
+    /// exactly once (even under concurrent executions) by the first reusing
+    /// execution; clones of the plan *share* the cache (and a build done
+    /// through any clone), rather than deep-copying its tensors. Holds the
+    /// build `Result` so a failed build is memoized rather than retried.
+    pub(crate) branch_cache: Arc<OnceLock<Result<BranchCache, crate::error::Error>>>,
 }
 
 impl SimulationPlan {
@@ -79,6 +91,16 @@ impl SimulationPlan {
     /// Largest tensor rank any subtask materialises.
     pub fn sliced_max_rank(&self) -> usize {
         sliced_max_rank(&self.stem, &self.slicing.sliced)
+    }
+
+    /// The plan-lifetime branch cache, if some execution has built it.
+    pub fn branch_cache(&self) -> Option<&BranchCache> {
+        self.branch_cache.get().and_then(|r| r.as_ref().ok())
+    }
+
+    /// Whether the plan-lifetime branch cache has been built.
+    pub fn branch_cache_built(&self) -> bool {
+        self.branch_cache().is_some()
     }
 }
 
@@ -127,7 +149,26 @@ pub fn plan_simulation(
 
     let log_cost = tree.total_log_cost();
     let overhead = slicing_overhead(&stem, &slicing.sliced);
-    SimulationPlan { build, network, pairs, tree, stem, slicing, log_cost, overhead }
+
+    // Classify every tree node by what its subtree depends on: the sliced
+    // edges (replayed per subtask), the rebindable output projectors
+    // (contracted once per execution) or neither (contracted once per plan).
+    // Structure-only, like the rest of planning.
+    let overridable: Vec<usize> = build.projector_leaves.iter().map(|&(_, node)| node).collect();
+    let classification = classify_nodes(&tree, &slicing.sliced, &overridable);
+
+    SimulationPlan {
+        build,
+        network,
+        pairs,
+        tree,
+        stem,
+        slicing,
+        log_cost,
+        overhead,
+        classification,
+        branch_cache: Arc::new(OnceLock::new()),
+    }
 }
 
 #[cfg(test)]

@@ -44,11 +44,11 @@ pub fn project_run(
     total_subtasks: usize,
     measured_nodes: usize,
 ) -> RunProjection {
-    let seconds_per_subtask = if stats.subtasks_run > 0 {
-        stats.wall_seconds * stats.workers as f64 / stats.subtasks_run as f64
-    } else {
-        0.0
-    };
+    // Use the executor's sweep-phase figure rather than re-deriving from
+    // wall_seconds: with reuse enabled, wall time folds in the one-off
+    // branch/frontier cache builds, which must not be extrapolated across
+    // the full sweep.
+    let seconds_per_subtask = stats.seconds_per_subtask;
     let model = ScalingModel::new(seconds_per_subtask, 8.0 * (1 << 20) as f64);
     let time_at_measured = model.strong_time(total_subtasks, measured_nodes);
     let total_flops = flops_per_subtask * total_subtasks as f64;
@@ -72,10 +72,10 @@ mod tests {
         ExecutionStats {
             subtasks_run: subtasks,
             subtasks_total: subtasks,
-            flops: 0,
             wall_seconds: wall,
             seconds_per_subtask: wall * workers as f64 / subtasks as f64,
             workers,
+            ..ExecutionStats::default()
         }
     }
 
@@ -105,14 +105,7 @@ mod tests {
     #[test]
     fn zero_subtasks_do_not_divide_by_zero() {
         let arch = SunwayArch::sw26010pro();
-        let stats = ExecutionStats {
-            subtasks_run: 0,
-            subtasks_total: 0,
-            flops: 0,
-            wall_seconds: 0.0,
-            seconds_per_subtask: 0.0,
-            workers: 1,
-        };
+        let stats = ExecutionStats { workers: 1, ..ExecutionStats::default() };
         let p = project_run(&arch, &stats, 0.0, 0, 1024);
         assert_eq!(p.seconds_per_subtask, 0.0);
     }

@@ -70,7 +70,7 @@
 //! | [`sunway`] | SW26010pro machine model: memory hierarchy, roofline, scaling projection |
 //! | [`fused`] | secondary slicing and the fused vs step-by-step thread-level executors |
 //! | [`statevector`] | reference full-state simulator for validation |
-//! | [`core`] | engine, planner, parallel sliced executor, sampling, verification, projection |
+//! | [`core`] | engine, planner, stem-only sliced executor, sampling, verification, projection |
 
 #![warn(missing_docs)]
 

@@ -14,7 +14,10 @@ fn planner() -> PlannerConfig {
 fn test_engine() -> Engine {
     // A fixed worker count keeps the subtask striding identical across
     // engines regardless of the host's core count.
-    Engine::with_configs(planner(), ExecutorConfig { workers: 4, max_subtasks: 0 })
+    Engine::with_configs(
+        planner(),
+        ExecutorConfig { workers: 4, max_subtasks: 0, ..Default::default() },
+    )
 }
 
 /// 24 deterministic probe bitstrings covering varied patterns.

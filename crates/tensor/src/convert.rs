@@ -3,7 +3,7 @@
 //! The paper reports *single-precision* sustained performance (308.6 Pflops)
 //! while verification work is naturally done in double precision. The
 //! contraction, GEMM and permutation kernels in this crate are generic over
-//! [`Scalar`], so both precisions are first-class; these helpers convert
+//! [`crate::Scalar`], so both precisions are first-class; these helpers convert
 //! tensors between them so a double-precision plan can be executed in single
 //! precision (and its result promoted back for comparison).
 

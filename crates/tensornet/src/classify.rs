@@ -1,0 +1,333 @@
+//! Slice-dependency classification of contraction-tree nodes.
+//!
+//! The paper's lifetime-based slicing (§4.2) pays off because only the
+//! *stem* — the dominant contraction spine — varies across the `2^|S|`
+//! slice assignments; everything hanging off it can be pre-contracted once.
+//! This module makes that observation precise for an arbitrary contraction
+//! tree: every node is classified by what its subtree depends on.
+//!
+//! * [`NodeClass::Branch`] — the subtree touches **no sliced edge and no
+//!   overridable leaf**. Its tensor is identical for every slice assignment
+//!   *and* every output rebinding, so it can be contracted once per plan and
+//!   cached for the plan's lifetime.
+//! * [`NodeClass::Frontier`] — the subtree touches an overridable leaf (an
+//!   output projector that rebinding replaces) but no sliced edge. Its
+//!   tensor is identical across all slice assignments of one execution, so
+//!   it is contracted once per execution.
+//! * [`NodeClass::Stem`] — the subtree touches a sliced edge. Only these
+//!   nodes must be re-contracted for every slice assignment.
+//!
+//! A node's class is the maximum of its children's classes (a subtree
+//! depends on everything its descendants depend on), so classes are
+//! monotone along root-ward paths and each class forms a union of maximal
+//! subtrees. [`classify_nodes`] precomputes, besides the per-node classes,
+//! the per-class contraction schedules and the *keep sets*: the roots of
+//! maximal Branch/Frontier subtrees whose tensors must outlive their
+//! contraction phase because a later phase consumes them.
+
+use crate::tree::ContractionTree;
+use qtn_tensor::IndexId;
+
+/// What a contraction-tree node's subtree depends on. Ordered by lifetime:
+/// `Branch < Frontier < Stem`, and a parent's class is the maximum of its
+/// children's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NodeClass {
+    /// Independent of sliced edges and overridable leaves: contract once per
+    /// plan and cache for the plan's lifetime.
+    Branch,
+    /// Depends on overridable (output-projector) leaves but on no sliced
+    /// edge: contract once per execution.
+    Frontier,
+    /// Depends on a sliced edge: re-contract for every slice assignment.
+    Stem,
+}
+
+/// The classification of every node of a contraction tree, with the derived
+/// per-class schedules and keep sets the executor needs.
+#[derive(Debug, Clone)]
+pub struct NodeClassification {
+    classes: Vec<NodeClass>,
+    root: usize,
+    branch_schedule: Vec<(usize, usize, usize)>,
+    frontier_schedule: Vec<(usize, usize, usize)>,
+    stem_schedule: Vec<(usize, usize, usize)>,
+    branch_keep: Vec<usize>,
+    frontier_keep: Vec<usize>,
+    stem_seeds: Vec<usize>,
+}
+
+impl NodeClassification {
+    /// Class of a tree node.
+    pub fn class(&self, node: usize) -> NodeClass {
+        self.classes[node]
+    }
+
+    /// Per-node classes, indexed by tree-node id.
+    pub fn classes(&self) -> &[NodeClass] {
+        &self.classes
+    }
+
+    /// Class of the tree's root (equals [`NodeClass::Stem`] whenever the
+    /// slicing set is non-empty, since the root's subtree spans every leaf).
+    pub fn root_class(&self) -> NodeClass {
+        self.classes[self.root]
+    }
+
+    /// `(left, right, result)` contraction triples of the Branch-class
+    /// internal nodes, in execution order. Contracted once per plan.
+    pub fn branch_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.branch_schedule
+    }
+
+    /// Contraction triples of the Frontier-class internal nodes, in
+    /// execution order. Contracted once per execution.
+    pub fn frontier_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.frontier_schedule
+    }
+
+    /// Contraction triples of the Stem-class internal nodes, in execution
+    /// order. Re-contracted for every slice assignment.
+    pub fn stem_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.stem_schedule
+    }
+
+    /// Branch-class nodes whose tensor a later phase consumes: the roots of
+    /// maximal Branch subtrees (their parent is Frontier/Stem-class, or they
+    /// are the tree root). These are the tensors worth caching per plan.
+    pub fn branch_keep(&self) -> &[usize] {
+        &self.branch_keep
+    }
+
+    /// Frontier-class nodes whose tensor the per-subtask replay consumes:
+    /// the roots of maximal Frontier subtrees (their parent is Stem-class,
+    /// or they are the tree root). Rebuilt once per execution.
+    pub fn frontier_keep(&self) -> &[usize] {
+        &self.frontier_keep
+    }
+
+    /// Every cached (non-Stem) node the per-subtask stem replay reads: the
+    /// union of [`Self::branch_keep`] entries with a Stem parent and all of
+    /// [`Self::frontier_keep`]. When the root itself is not Stem-class the
+    /// root is included — the whole result is slice-invariant.
+    pub fn stem_seeds(&self) -> &[usize] {
+        &self.stem_seeds
+    }
+
+    /// Number of internal (contraction) nodes of each class, as
+    /// `(branch, frontier, stem)`.
+    pub fn contraction_counts(&self) -> (usize, usize, usize) {
+        (self.branch_schedule.len(), self.frontier_schedule.len(), self.stem_schedule.len())
+    }
+}
+
+/// Classify every node of `tree` against a slicing set and a set of
+/// overridable leaves.
+///
+/// `sliced` lists the sliced edge indices; `overridable_leaves` lists the
+/// *network vertex ids* of leaves whose data an execution may replace (the
+/// output projectors under rebinding). A leaf is Stem-class if it carries a
+/// sliced edge, else Frontier-class if it is overridable, else Branch-class;
+/// internal nodes take the maximum of their children.
+pub fn classify_nodes(
+    tree: &ContractionTree,
+    sliced: &[IndexId],
+    overridable_leaves: &[usize],
+) -> NodeClassification {
+    let nodes = tree.nodes();
+    let mut classes = vec![NodeClass::Branch; nodes.len()];
+
+    // Leaves first: the only place dependencies originate.
+    for (id, node) in nodes.iter().enumerate() {
+        if let Some(vertex) = node.leaf_vertex {
+            classes[id] = if node.indices.iter().any(|e| sliced.contains(e)) {
+                NodeClass::Stem
+            } else if overridable_leaves.contains(&vertex) {
+                NodeClass::Frontier
+            } else {
+                NodeClass::Branch
+            };
+        }
+    }
+
+    // Internal nodes in execution order (children precede parents), so a
+    // single pass propagates the maximum upward.
+    let schedule = tree.schedule();
+    for &(l, r, out) in &schedule {
+        classes[out] = classes[l].max(classes[r]);
+    }
+
+    let mut branch_schedule = Vec::new();
+    let mut frontier_schedule = Vec::new();
+    let mut stem_schedule = Vec::new();
+    for &(l, r, out) in &schedule {
+        match classes[out] {
+            NodeClass::Branch => branch_schedule.push((l, r, out)),
+            NodeClass::Frontier => frontier_schedule.push((l, r, out)),
+            NodeClass::Stem => stem_schedule.push((l, r, out)),
+        }
+    }
+
+    // Keep sets: roots of maximal same-class subtrees that a later phase
+    // (or the final result) consumes.
+    let parent_class = |id: usize| nodes[id].parent.map(|p| classes[p]);
+    let mut branch_keep = Vec::new();
+    let mut frontier_keep = Vec::new();
+    let mut stem_seeds = Vec::new();
+    for (id, &class) in classes.iter().enumerate() {
+        match class {
+            NodeClass::Branch => match parent_class(id) {
+                None => {
+                    branch_keep.push(id);
+                    stem_seeds.push(id);
+                }
+                Some(NodeClass::Frontier) => branch_keep.push(id),
+                Some(NodeClass::Stem) => {
+                    branch_keep.push(id);
+                    stem_seeds.push(id);
+                }
+                Some(NodeClass::Branch) => {}
+            },
+            NodeClass::Frontier => match parent_class(id) {
+                None | Some(NodeClass::Stem) => {
+                    frontier_keep.push(id);
+                    stem_seeds.push(id);
+                }
+                _ => {}
+            },
+            NodeClass::Stem => {}
+        }
+    }
+
+    NodeClassification {
+        classes,
+        root: tree.root(),
+        branch_schedule,
+        frontier_schedule,
+        stem_schedule,
+        branch_keep,
+        frontier_keep,
+        stem_seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TensorNetwork;
+    use qtn_tensor::IndexSet;
+
+    /// A 4-tensor chain `[0] - [0,1] - [1,2] - [2]` contracted linearly:
+    /// leaves 0..4, internals 4 (=0+1), 5 (=4+2), 6 (=5+3, root).
+    fn chain4_tree() -> (TensorNetwork, ContractionTree) {
+        let g = TensorNetwork::new(&[
+            IndexSet::new(vec![0]),
+            IndexSet::new(vec![0, 1]),
+            IndexSet::new(vec![1, 2]),
+            IndexSet::new(vec![2]),
+        ]);
+        let tree = ContractionTree::from_pairs(&g, &[(0, 1), (4, 2), (5, 3)]);
+        (g, tree)
+    }
+
+    #[test]
+    fn no_slicing_no_overrides_is_all_branch() {
+        let (_, tree) = chain4_tree();
+        let c = classify_nodes(&tree, &[], &[]);
+        assert!(c.classes().iter().all(|&k| k == NodeClass::Branch));
+        assert_eq!(c.contraction_counts(), (3, 0, 0));
+        assert_eq!(c.stem_schedule().len(), 0);
+        // The root is the single kept branch tensor and the only stem seed.
+        assert_eq!(c.branch_keep(), &[tree.root()]);
+        assert_eq!(c.stem_seeds(), &[tree.root()]);
+    }
+
+    #[test]
+    fn sliced_edge_stems_the_spine_only() {
+        let (_, tree) = chain4_tree();
+        // Slice edge 0: leaves 0 and 1 carry it, so nodes 0, 1 and every
+        // ancestor (4, 5, 6) are Stem; leaves 2 and 3 stay Branch.
+        let c = classify_nodes(&tree, &[0], &[]);
+        assert_eq!(c.class(0), NodeClass::Stem);
+        assert_eq!(c.class(1), NodeClass::Stem);
+        assert_eq!(c.class(2), NodeClass::Branch);
+        assert_eq!(c.class(3), NodeClass::Branch);
+        assert_eq!(c.root_class(), NodeClass::Stem);
+        assert_eq!(c.contraction_counts(), (0, 0, 3));
+        // Leaves 2 and 3 feed Stem contractions directly.
+        assert_eq!(c.branch_keep(), &[2, 3]);
+        assert_eq!(c.stem_seeds(), &[2, 3]);
+    }
+
+    #[test]
+    fn overridable_leaf_makes_a_frontier() {
+        let (_, tree) = chain4_tree();
+        // Leaf 3 (vertex 3) is an output projector; no slicing.
+        let c = classify_nodes(&tree, &[], &[3]);
+        assert_eq!(c.class(3), NodeClass::Frontier);
+        assert_eq!(c.class(0), NodeClass::Branch);
+        // Only the final contraction (5+3 -> 6) consumes the projector.
+        assert_eq!(c.contraction_counts(), (2, 1, 0));
+        assert_eq!(c.root_class(), NodeClass::Frontier);
+        // Node 5 is a maximal Branch subtree feeding the Frontier phase.
+        assert_eq!(c.branch_keep(), &[5]);
+        assert_eq!(c.frontier_keep(), &[tree.root()]);
+        assert_eq!(c.stem_seeds(), &[tree.root()]);
+    }
+
+    #[test]
+    fn three_classes_coexist() {
+        let (_, tree) = chain4_tree();
+        // Slice edge 2 (leaves 2, 3), override leaf 0: leaf 1 is plain.
+        let c = classify_nodes(&tree, &[2], &[0]);
+        assert_eq!(c.class(0), NodeClass::Frontier);
+        assert_eq!(c.class(1), NodeClass::Branch);
+        assert_eq!(c.class(2), NodeClass::Stem);
+        assert_eq!(c.class(3), NodeClass::Stem);
+        // 4 = leaf0 + leaf1 -> Frontier; 5 = 4 + leaf2 -> Stem; 6 -> Stem.
+        assert_eq!(c.class(4), NodeClass::Frontier);
+        assert_eq!(c.class(5), NodeClass::Stem);
+        assert_eq!(c.class(6), NodeClass::Stem);
+        assert_eq!(c.contraction_counts(), (0, 1, 2));
+        assert_eq!(c.branch_keep(), &[1]);
+        assert_eq!(c.frontier_keep(), &[4]);
+        assert_eq!(c.stem_seeds(), &[4]);
+    }
+
+    #[test]
+    fn overridden_and_sliced_leaf_is_stem() {
+        let (_, tree) = chain4_tree();
+        let c = classify_nodes(&tree, &[0], &[0]);
+        // Stem wins: the leaf must be re-sliced per subtask (and the replay
+        // applies the override before slicing).
+        assert_eq!(c.class(0), NodeClass::Stem);
+    }
+
+    #[test]
+    fn classes_are_monotone_toward_the_root() {
+        let (_, tree) = chain4_tree();
+        let c = classify_nodes(&tree, &[1], &[3]);
+        for (id, node) in tree.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!(c.class(p) >= c.class(id), "class must not decrease toward the root");
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_partition_the_tree_schedule() {
+        let (_, tree) = chain4_tree();
+        let c = classify_nodes(&tree, &[1], &[0, 3]);
+        let total =
+            c.branch_schedule().len() + c.frontier_schedule().len() + c.stem_schedule().len();
+        assert_eq!(total, tree.schedule().len());
+        // Relative order within each class matches execution order.
+        for sched in [c.branch_schedule(), c.frontier_schedule(), c.stem_schedule()] {
+            let mut last = 0;
+            for &(_, _, out) in sched {
+                assert!(out >= last, "per-class schedules must stay in execution order");
+                last = out;
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod classify;
 pub mod cost;
 pub mod graph;
 pub mod path;
@@ -21,6 +22,7 @@ pub mod simplify;
 pub mod stem;
 pub mod tree;
 
+pub use classify::{classify_nodes, NodeClass, NodeClassification};
 pub use cost::{log2_add, log2_sum, LogCost};
 pub use graph::TensorNetwork;
 pub use path::{greedy_path, partition_path, random_greedy_paths, PathConfig};
