@@ -22,7 +22,7 @@ use qtnsim_core::{Engine, ExecutorConfig, PlannerConfig};
 const TARGETS: [(usize, usize); 3] = [(10, 2), (8, 4), (6, 6)];
 
 fn executor(reuse: bool) -> ExecutorConfig {
-    ExecutorConfig { workers: 4, max_subtasks: 0, reuse }
+    ExecutorConfig { workers: 4, max_subtasks: 0, reuse, ..Default::default() }
 }
 
 fn bench_branch_reuse(c: &mut Criterion) {

@@ -33,7 +33,12 @@ fn bench_strong_scaling(c: &mut Criterion) {
                 // portion to the stem, capping the apparent speedup.
                 execute_plan(
                     &plan,
-                    &ExecutorConfig { workers: w, max_subtasks: subtasks, reuse: false },
+                    &ExecutorConfig {
+                        workers: w,
+                        max_subtasks: subtasks,
+                        reuse: false,
+                        ..Default::default()
+                    },
                 )
             })
         });
@@ -68,7 +73,12 @@ fn bench_weak_scaling(c: &mut Criterion) {
                 // portion to the stem, capping the apparent speedup.
                 execute_plan(
                     &plan,
-                    &ExecutorConfig { workers: w, max_subtasks: subtasks, reuse: false },
+                    &ExecutorConfig {
+                        workers: w,
+                        max_subtasks: subtasks,
+                        reuse: false,
+                        ..Default::default()
+                    },
                 )
             })
         });

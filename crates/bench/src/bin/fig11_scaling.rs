@@ -43,7 +43,12 @@ fn main() {
     // a stem-only replay plus an amortized one-off cache build.
     let (_, stats) = execute_plan(
         &plan,
-        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks, reuse: false },
+        &ExecutorConfig {
+            workers: 1,
+            max_subtasks: measure_subtasks,
+            reuse: false,
+            ..Default::default()
+        },
     );
     let subtask_time = stats.seconds_per_subtask;
     println!(

@@ -74,7 +74,12 @@ fn main() {
     // the per-subtask figure (see fig11_scaling).
     let (_, cal_stats) = execute_plan(
         &cal_plan,
-        &ExecutorConfig { workers: 1, max_subtasks: measure_subtasks, reuse: false },
+        &ExecutorConfig {
+            workers: 1,
+            max_subtasks: measure_subtasks,
+            reuse: false,
+            ..Default::default()
+        },
     );
     println!(
         "# calibration: {} subtasks, {:.2} Gflop/s sustained on this host",

@@ -217,7 +217,12 @@ impl Engine {
     fn planner_fingerprint(&self) -> u64 {
         // PlannerConfig's Debug output covers every field (f64s print with
         // round-trip precision), making it a faithful value fingerprint.
-        fnv1a(format!("{:?}", self.planner).into_bytes())
+        // The memory budget is deliberately excluded: it gates `compile`
+        // *after* planning and never influences plan construction, so one
+        // cached plan serves every budget (each compile re-checks it) —
+        // probing budgets or raising one after a rejection never replans.
+        let canonical = PlannerConfig { memory_budget_bytes: None, ..self.planner.clone() };
+        fnv1a(format!("{canonical:?}").into_bytes())
     }
 
     /// Replace the planner configuration (builder style). Cached plans are
@@ -361,6 +366,18 @@ impl Engine {
                 (plan, false)
             }
         };
+
+        // The lifetime analysis finally gives the slicing's "memory budget"
+        // a real number to be checked against: reject plans whose predicted
+        // per-worker peak exceeds the configured byte budget. Rejected
+        // plans stay cached (the budget is not part of the cache key), so
+        // retrying with a raised budget is a cache hit, not a replan.
+        if let Some(budget_bytes) = self.planner.memory_budget_bytes {
+            let predicted_bytes = plan.predicted_peak_bytes();
+            if predicted_bytes > budget_bytes {
+                return Err(Error::MemoryBudgetExceeded { predicted_bytes, budget_bytes });
+            }
+        }
 
         Ok(CompiledCircuit {
             plan,
@@ -709,6 +726,39 @@ mod tests {
             compiled.execute_batch(&[0, 5]).unwrap_err(),
             Error::InvalidBit { qubit: 1, value: 5 }
         );
+    }
+
+    #[test]
+    fn memory_budget_rejects_oversized_plans() {
+        let circuit = RqcConfig::small(3, 3, 8, 6).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        let planner = PlannerConfig { target_rank: 8, ..Default::default() };
+        // Learn the plan's predicted peak, then budget just below it.
+        let unbudgeted = Engine::new().with_planner(planner.clone());
+        let compiled = unbudgeted.compile(&circuit, &spec).unwrap();
+        let predicted = compiled.plan().predicted_peak_bytes();
+        assert!(predicted > 0);
+
+        let tight = unbudgeted.clone().with_planner(PlannerConfig {
+            memory_budget_bytes: Some(predicted - 1),
+            ..planner.clone()
+        });
+        assert_eq!(
+            tight.compile(&circuit, &spec).unwrap_err(),
+            Error::MemoryBudgetExceeded { predicted_bytes: predicted, budget_bytes: predicted - 1 }
+        );
+        // A budget that the prediction fits in compiles — and executes.
+        let roomy = tight
+            .clone()
+            .with_planner(PlannerConfig { memory_budget_bytes: Some(predicted), ..planner });
+        let compiled = roomy.compile(&circuit, &spec).unwrap();
+        let (_, report) = compiled.execute_amplitude(&vec![0; n]).unwrap();
+        assert!(report.stats.peak_bytes_in_flight <= predicted);
+        // The budget is not part of the plan-cache key: all three engines
+        // (unbudgeted, rejected, accepted) shared one cached plan.
+        assert!(compiled.plan_cache_hit());
+        assert_eq!(unbudgeted.plans_built(), 1, "budget probing must never replan");
     }
 
     #[test]

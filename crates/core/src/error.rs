@@ -46,6 +46,16 @@ pub enum Error {
         /// What the call requires.
         requested: &'static str,
     },
+    /// A compiled plan's predicted peak buffer memory (from the plan-time
+    /// lifetime analysis) exceeds the configured
+    /// [`crate::PlannerConfig::memory_budget_bytes`]. Raise the budget or
+    /// lower `target_rank` so slicing produces smaller subtasks.
+    MemoryBudgetExceeded {
+        /// Predicted per-worker peak bytes of the worst reuse phase.
+        predicted_bytes: u64,
+        /// The configured budget.
+        budget_bytes: u64,
+    },
     /// Sampling was requested from an amplitude tensor whose total
     /// probability mass is zero (every amplitude is exactly 0).
     ZeroAmplitudeDistribution,
@@ -73,6 +83,13 @@ impl std::fmt::Display for Error {
                 write!(
                     f,
                     "compiled circuit has {compiled} output shape but the call requires {requested}"
+                )
+            }
+            Error::MemoryBudgetExceeded { predicted_bytes, budget_bytes } => {
+                write!(
+                    f,
+                    "plan's predicted peak memory ({predicted_bytes} bytes) exceeds the \
+                     {budget_bytes}-byte budget"
                 )
             }
             Error::ZeroAmplitudeDistribution => {
@@ -110,6 +127,10 @@ mod tests {
             (
                 Error::OutputShapeMismatch { compiled: "open", requested: "amplitude" },
                 "output shape",
+            ),
+            (
+                Error::MemoryBudgetExceeded { predicted_bytes: 4096, budget_bytes: 1024 },
+                "exceeds the 1024-byte budget",
             ),
             (Error::ZeroAmplitudeDistribution, "all-zero"),
             (Error::Internal("oops".into()), "oops"),

@@ -35,6 +35,25 @@
 //! [`ExecutionStats`] reports the per-phase FLOP split and the work avoided
 //! (`branch_flops_reused`).
 //!
+//! ## Lifetime-pooled stem sweep
+//!
+//! With [`ExecutorConfig::pool`] on (the default), the per-subtask stem
+//! replay runs through per-worker [`BufferPool`]s instead of allocating:
+//! sliced leaves are gathered straight into recycled buffers
+//! ([`qtn_tensor::DenseTensor::slice_into`]), contractions run through
+//! precompiled [`qtn_tensor::ContractionKernel`]s into recycled output and
+//! permutation-scratch buffers, and every buffer returns to its size
+//! class's free list the moment the lifetime analysis
+//! ([`qtn_tensornet::lifetime`]) says it dies. After the first subtask
+//! warms the free lists the hot loop performs **zero heap allocations**;
+//! pools persist on the plan across executions (like the branch cache), so
+//! a compiled circuit's second execution allocates no stem buffers at all
+//! (the per-execution frontier build still allocates its own tensors).
+//! [`ExecutionStats::buffers_allocated`] / `buffers_reused` prove it, and
+//! [`ExecutionStats::peak_bytes_in_flight`] matches the plan's
+//! [`ExecutionStats::predicted_peak_bytes`] exactly. Results stay
+//! bit-identical: pooling changes where bytes live, never what is computed.
+//!
 //! Subtasks run on a persistent [`WorkerPool`] — threads are spawned once
 //! and reused across executions, mirroring the paper's long-lived processes
 //! sweeping millions of slice subtasks. Work is distributed by *static
@@ -45,7 +64,10 @@
 
 use crate::error::Error;
 use crate::planner::SimulationPlan;
-use qtn_tensor::{contract_pair, Complex64, ContractionSpec, DenseTensor, IndexId};
+use crate::pool::{BufferPool, PoolCounters};
+use qtn_tensor::{
+    contract_pair, Complex64, ContractionKernel, ContractionSpec, DenseTensor, IndexId, IndexSet,
+};
 use qtn_tensornet::NodeClass;
 use std::borrow::Cow;
 use std::collections::HashMap;
@@ -74,6 +96,17 @@ pub struct ExecutorConfig {
     /// replayed per subtask. Disable to force the full per-subtask replay —
     /// the result is bit-identical, only slower.
     pub reuse: bool,
+    /// Run the stem sweep on per-worker [`BufferPool`]s: every sliced leaf,
+    /// intermediate and permutation-scratch buffer is recycled, so after
+    /// the first subtask warms the free lists the hot loop performs zero
+    /// heap allocations (pools persist across executions of the same plan,
+    /// like the branch cache, so later executions allocate no stem buffers
+    /// at all).
+    /// Results are bit-identical to the unpooled path — the same
+    /// contractions run in the same order, only the buffers differ.
+    /// Effective only together with [`reuse`](Self::reuse); disable to fall
+    /// back to allocate-per-contraction execution.
+    pub pool: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -82,6 +115,7 @@ impl Default for ExecutorConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             max_subtasks: 0,
             reuse: true,
+            pool: true,
         }
     }
 }
@@ -122,6 +156,27 @@ pub struct ExecutionStats {
     pub branch_contractions: u64,
     /// Frontier-class pairwise contractions executed by this call.
     pub frontier_contractions: u64,
+    /// Buffers the per-worker pools had to freshly allocate, summed over
+    /// workers. On a cold pool this equals the plan's predicted slot count
+    /// times [`workers`](Self::workers) (the worker count actually used,
+    /// which is capped at the subtask count — idle workers allocate
+    /// nothing); every later execution of the same plan reports 0 — the
+    /// proof of the zero-allocation steady state. Zero when pooling is off.
+    pub buffers_allocated: u64,
+    /// Buffers served from pool free lists instead of the allocator,
+    /// summed over workers. Zero when pooling is off.
+    pub buffers_reused: u64,
+    /// Exact high-water mark of bytes checked out of any single worker's
+    /// buffer pool (each worker replays one subtask at a time, so this is
+    /// the per-worker stem working set, not the sum across workers). Zero
+    /// when pooling is off.
+    pub peak_bytes_in_flight: u64,
+    /// The plan-time prediction for `peak_bytes_in_flight`: the stem
+    /// phase's [`qtn_tensornet::PhaseMemoryPlan::peak_bytes`]. Lifetimes of
+    /// contraction intermediates are statically known, so a pooled
+    /// execution satisfies `peak_bytes_in_flight <= predicted_peak_bytes`
+    /// exactly (equality whenever at least one sliced subtask ran).
+    pub predicted_peak_bytes: u64,
     /// Wall-clock time of the whole execution, including the serial cache
     /// phases (branch build, frontier build) when reuse runs them.
     pub wall_seconds: f64,
@@ -287,6 +342,257 @@ fn build_frontier(
 }
 
 // ---------------------------------------------------------------------------
+// Pooled stem execution: precompiled per-subtask replay
+// ---------------------------------------------------------------------------
+
+/// One stem leaf's slicing recipe, precomputed once per execution: which
+/// axes of the (possibly overridden) source tensor are fixed by which
+/// sliced-edge bit. Applying it is a single [`DenseTensor::slice_into`]
+/// gather into a pooled buffer — no clone, no per-edge re-slicing.
+#[derive(Debug)]
+struct StemLeafExec {
+    /// Tree node this leaf occupies.
+    node: usize,
+    /// Network vertex the data comes from (override key).
+    vertex: usize,
+    /// `(axis position in the source tensor, bit position in the slicing
+    /// set)` for every sliced edge the leaf carries.
+    fixes: Vec<(usize, usize)>,
+    /// Elements of the sliced leaf tensor.
+    len: usize,
+}
+
+/// One stem contraction, fully compiled: operand/output tree nodes plus the
+/// reusable [`ContractionKernel`] (spec + TTGT permutation maps). Shapes and
+/// axis orders are identical across all `2^|S|` subtasks, so kernels are
+/// built once per execution and replayed allocation-free.
+#[derive(Debug)]
+struct StemStepExec {
+    left: usize,
+    right: usize,
+    out: usize,
+    kernel: ContractionKernel,
+}
+
+/// The compiled form of the per-subtask stem replay: slicing recipes for
+/// the stem leaves, contraction kernels for the stem schedule, and the
+/// index sets of every stem-node tensor (needed to wrap the root buffer).
+/// Compiled once in the plan's lifetime (it only depends on index sets,
+/// which [`qtn_circuit::NetworkBuild::rebind_output`] overrides preserve)
+/// and memoized on the [`SimulationPlan`] like the branch cache; shared
+/// read-only by all workers. Overrides that *do* change a leaf's axis
+/// order get a fresh, uncached compile instead.
+#[derive(Debug)]
+pub(crate) struct StemExec {
+    leaves: Vec<StemLeafExec>,
+    steps: Vec<StemStepExec>,
+    /// Index set of each Stem-class node's tensor, by tree-node id.
+    node_indices: Vec<Option<IndexSet>>,
+    /// Whether the tree root is Stem-class (a sliced sweep). When false the
+    /// pooled replay is bypassed — the subtask result is a cached tensor.
+    root_is_stem: bool,
+}
+
+/// Resolve a slice-invariant tensor: a per-execution frontier seed or a
+/// plan-lifetime branch-cache entry. The single lookup chain shared by the
+/// stem compile, the pooled replay and the unpooled replay.
+fn cached_tensor<'a>(
+    seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
+    cache: &'a BranchCache,
+    id: usize,
+) -> Option<&'a DenseTensor<Complex64>> {
+    seeds.get(&id).or_else(|| cache.tensor(id))
+}
+
+/// Index set of a stem operand: a stem node's precomputed set, or the axis
+/// order of the cached tensor (frontier seed or branch cache) it is read
+/// from.
+fn operand_indices<'a>(
+    node_indices: &'a [Option<IndexSet>],
+    seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
+    cache: &'a BranchCache,
+    id: usize,
+) -> Result<&'a IndexSet, Error> {
+    if let Some(idx) = node_indices[id].as_ref() {
+        return Ok(idx);
+    }
+    cached_tensor(seeds, cache, id)
+        .map(DenseTensor::indices)
+        .ok_or_else(|| Error::Internal(format!("operand {id} missing while compiling stem")))
+}
+
+/// Compile the stem replay: resolve every stem leaf's slicing recipe and
+/// build one [`ContractionKernel`] per stem contraction. Pure shape work —
+/// no amplitude is touched — and run once per execution.
+fn build_stem_exec(
+    plan: &SimulationPlan,
+    cache: &BranchCache,
+    seeds: &HashMap<usize, DenseTensor<Complex64>>,
+    overrides: &LeafOverrides,
+) -> Result<StemExec, Error> {
+    let cls = &plan.classification;
+    let sliced = &plan.slicing.sliced;
+    let num_nodes = plan.tree.nodes().len();
+    let root_is_stem = cls.class(plan.tree.root()) == NodeClass::Stem;
+    let mut node_indices: Vec<Option<IndexSet>> = vec![None; num_nodes];
+    let mut leaves = Vec::new();
+    let mut steps = Vec::with_capacity(cls.stem_schedule().len());
+    if !root_is_stem {
+        return Ok(StemExec { leaves, steps, node_indices, root_is_stem });
+    }
+
+    for (node_id, node) in plan.tree.nodes().iter().enumerate() {
+        if cls.class(node_id) != NodeClass::Stem {
+            continue;
+        }
+        if let Some(vertex) = node.leaf_vertex {
+            let src = overrides.get(&vertex).unwrap_or(&plan.build.nodes[vertex].data);
+            let mut fixes = Vec::new();
+            for (bit_pos, &edge) in sliced.iter().enumerate() {
+                if let Some(axis) = src.indices().position(edge) {
+                    fixes.push((axis, bit_pos));
+                }
+            }
+            let kept: Vec<IndexId> = src.indices().iter().filter(|a| !sliced.contains(a)).collect();
+            let indices = IndexSet::new(kept);
+            leaves.push(StemLeafExec { node: node_id, vertex, fixes, len: indices.len() });
+            node_indices[node_id] = Some(indices);
+        }
+    }
+
+    for &(l, r, out) in cls.stem_schedule() {
+        let kernel = ContractionKernel::new(
+            operand_indices(&node_indices, seeds, cache, l)?,
+            operand_indices(&node_indices, seeds, cache, r)?,
+        );
+        node_indices[out] = Some(kernel.output().clone());
+        steps.push(StemStepExec { left: l, right: r, out, kernel });
+    }
+    Ok(StemExec { leaves, steps, node_indices, root_is_stem })
+}
+
+/// Per-worker state that survives the whole sweep: the worker's buffer
+/// pool and its per-execution counters, the slot table and the reusable
+/// fix buffer (cleared, never reallocated, between subtasks), and the root
+/// index set recycled from the previous subtask's result tensor.
+struct StemWorkspace {
+    pool: BufferPool,
+    counters: PoolCounters,
+    slots: Vec<Option<Vec<Complex64>>>,
+    fix_buf: Vec<(usize, u8)>,
+    root_indices: Option<IndexSet>,
+}
+
+impl StemWorkspace {
+    fn new(num_nodes: usize, pool: BufferPool) -> Self {
+        Self {
+            pool,
+            counters: PoolCounters::default(),
+            slots: vec![None; num_nodes],
+            fix_buf: Vec::new(),
+            root_indices: None,
+        }
+    }
+}
+
+/// Data slice of a stem operand: the owned pooled buffer taken from the
+/// slot table, or a borrowed cache tensor's amplitudes.
+fn stem_operand_data<'a>(
+    owned: &'a Option<Vec<Complex64>>,
+    seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
+    cache: &'a BranchCache,
+    id: usize,
+) -> Result<&'a [Complex64], Error> {
+    if let Some(buf) = owned.as_deref() {
+        return Ok(buf);
+    }
+    cached_tensor(seeds, cache, id)
+        .map(DenseTensor::data)
+        .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and caches")))
+}
+
+/// Execute one slice assignment on the worker's buffer pool: every sliced
+/// leaf is gathered into a recycled buffer, every contraction runs through
+/// its precompiled kernel into recycled output/scratch buffers, and buffers
+/// return to the pool the moment their statically known lifetime ends. The
+/// acquire/release sequence mirrors [`qtn_tensornet::lifetime`]'s phase
+/// simulation step for step, which is why the plan's predicted peak and
+/// slot counts are exact. Bit-identical to [`run_subtask_stem`].
+///
+/// Returns the root tensor (whose data buffer the caller must release back
+/// to the pool after merging) and the replayed flop count.
+fn run_subtask_stem_pooled(
+    plan: &SimulationPlan,
+    exec: &StemExec,
+    seeds: &HashMap<usize, DenseTensor<Complex64>>,
+    overrides: &LeafOverrides,
+    assignment: usize,
+    ws: &mut StemWorkspace,
+) -> Result<(DenseTensor<Complex64>, u64), Error> {
+    let cache = cache_of(plan)?;
+    let StemWorkspace { pool, counters, slots, fix_buf, root_indices } = ws;
+    let mut flops = 0u64;
+
+    // Materialise the stem leaves: one strided gather per leaf, straight
+    // from the (overridden) source tensor into a pooled buffer.
+    for leaf in &exec.leaves {
+        let src = overrides.get(&leaf.vertex).unwrap_or(&plan.build.nodes[leaf.vertex].data);
+        fix_buf.clear();
+        fix_buf.extend(
+            leaf.fixes.iter().map(|&(axis, bit_pos)| (axis, ((assignment >> bit_pos) & 1) as u8)),
+        );
+        let mut buf = pool.acquire(leaf.len, counters);
+        src.slice_into(fix_buf, &mut buf);
+        slots[leaf.node] = Some(buf);
+    }
+
+    // Replay the stem schedule through the precompiled kernels.
+    for step in &exec.steps {
+        let left_owned = slots[step.left].take();
+        let right_owned = slots[step.right].take();
+        let left = stem_operand_data(&left_owned, seeds, cache, step.left)?;
+        let right = stem_operand_data(&right_owned, seeds, cache, step.right)?;
+        let mut left_scratch = pool.acquire(left.len(), counters);
+        let mut right_scratch = pool.acquire(right.len(), counters);
+        let mut out = pool.acquire(step.kernel.output().len(), counters);
+        step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
+        flops += step.kernel.flops();
+        pool.release(left_scratch, counters);
+        pool.release(right_scratch, counters);
+        if let Some(buf) = left_owned {
+            pool.release(buf, counters);
+        }
+        if let Some(buf) = right_owned {
+            pool.release(buf, counters);
+        }
+        slots[step.out] = Some(out);
+    }
+
+    let root = plan.tree.root();
+    let buf = slots[root]
+        .take()
+        .ok_or_else(|| Error::Internal("root tensor missing after pooled replay".into()))?;
+    // Recycle the previous subtask's root index set instead of cloning the
+    // compiled one: the steady-state loop allocates nothing at all.
+    let indices = match root_indices.take() {
+        Some(indices) => indices,
+        None => exec.node_indices[root]
+            .clone()
+            .ok_or_else(|| Error::Internal("root index set missing from stem compile".into()))?,
+    };
+    Ok((DenseTensor::from_data(indices, buf), flops))
+}
+
+/// The plan's built branch cache (pooled replay runs strictly after
+/// [`prepare_reuse`] built it).
+fn cache_of(plan: &SimulationPlan) -> Result<&BranchCache, Error> {
+    plan.branch_cache
+        .get()
+        .and_then(|r| r.as_ref().ok())
+        .ok_or_else(|| Error::Internal("branch cache missing during stem replay".into()))
+}
+
+// ---------------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------------
 
@@ -410,6 +716,9 @@ struct ReuseState {
     /// read them straight from the plan's [`BranchCache`] through their
     /// `Arc<SimulationPlan>`, so no branch tensor is cloned per execution.
     seeds: Arc<HashMap<usize, DenseTensor<Complex64>>>,
+    /// Compiled stem replay (slicing recipes + contraction kernels), built
+    /// only when pooled execution is on.
+    stem_exec: Option<Arc<StemExec>>,
     /// Full branch-cache build cost (paid once in the plan's lifetime).
     branch_flops_total: u64,
     /// Branch flops/contractions actually executed by *this* call.
@@ -421,8 +730,13 @@ struct ReuseState {
 }
 
 /// Build the branch cache (first execution only) and this execution's
-/// frontier, and assemble the seed tensors for the per-subtask stem replay.
-fn prepare_reuse(plan: &SimulationPlan, overrides: &LeafOverrides) -> Result<ReuseState, Error> {
+/// frontier, assemble the seed tensors for the per-subtask stem replay, and
+/// — when `pooled` — compile the stem replay's kernels and slicing recipes.
+fn prepare_reuse(
+    plan: &SimulationPlan,
+    overrides: &LeafOverrides,
+    pooled: bool,
+) -> Result<ReuseState, Error> {
     // Lazily build the plan-lifetime branch cache. `OnceLock::get_or_init`
     // blocks concurrent initializers, so even racing first executions run
     // the (potentially dominant-cost) build exactly once — the thread that
@@ -450,8 +764,29 @@ fn prepare_reuse(plan: &SimulationPlan, overrides: &LeafOverrides) -> Result<Reu
             None => return Err(Error::Internal(format!("stem seed {id} missing"))),
         }
     }
+    let stem_exec = if pooled {
+        // Rebinding preserves every leaf's index set, so the compiled stem
+        // is plan-invariant and memoized on the plan; an override that
+        // *changes* a leaf's axis order gets a fresh, uncached compile.
+        let shapes_preserved = overrides
+            .iter()
+            .all(|(vertex, t)| t.indices() == plan.build.nodes[*vertex].data.indices());
+        if shapes_preserved {
+            let exec = plan
+                .stem_exec
+                .get_or_init(|| build_stem_exec(plan, cache, &seeds, overrides).map(Arc::new))
+                .as_ref()
+                .map_err(Clone::clone)?;
+            Some(Arc::clone(exec))
+        } else {
+            Some(Arc::new(build_stem_exec(plan, cache, &seeds, overrides)?))
+        }
+    } else {
+        None
+    };
     Ok(ReuseState {
         seeds: Arc::new(seeds),
+        stem_exec,
         branch_flops_total: cache.flops,
         branch_flops: if built_here { cache.flops } else { 0 },
         branch_contractions: if built_here { cache.contractions } else { 0 },
@@ -512,50 +847,96 @@ pub fn execute_on_pool(
         && overrides
             .keys()
             .all(|v| plan.build.projector_leaves.iter().any(|&(_, node)| node == *v));
-    let reuse_state = if reuse { Some(prepare_reuse(plan, overrides)?) } else { None };
+    let pooled = reuse && config.pool;
+    let reuse_state = if reuse { Some(prepare_reuse(plan, overrides, pooled)?) } else { None };
 
     // Per-subtask timing starts after the serial cache phases so
     // `seconds_per_subtask` prices a subtask of the parallel sweep, not an
     // amortized share of the one-off builds.
     let sweep_start = Instant::now();
 
-    let (tx, rx) = mpsc::channel::<(usize, Result<(DenseTensor<Complex64>, u64), Error>)>();
+    type WorkerOutcome = (DenseTensor<Complex64>, u64, PoolCounters);
+    let (tx, rx) = mpsc::channel::<(usize, Result<WorkerOutcome, Error>)>();
     for worker in 0..workers {
         let tx = tx.clone();
         let plan = Arc::clone(plan);
         let overrides = Arc::clone(overrides);
         let seeds = reuse_state.as_ref().map(|s| Arc::clone(&s.seeds));
+        let stem_exec = reuse_state
+            .as_ref()
+            .and_then(|s| s.stem_exec.as_ref())
+            .filter(|e| e.root_is_stem)
+            .map(Arc::clone);
         let sliced = sliced.clone();
         let sliced_open = sliced_open.clone();
         let output_indices = output_indices.clone();
         pool.submit(Box::new(move || {
+            // The worker's buffer pool persists on the plan across
+            // executions (checked back in below, on success *and* error,
+            // so a failed execution never cools the pool), so only the
+            // very first execution of a plan pays any allocation at all.
+            let mut ws = stem_exec.as_ref().map(|_| {
+                StemWorkspace::new(plan.tree.nodes().len(), plan.stem_pools.checkout(worker))
+            });
             let outcome = (|| {
                 let mut partial = DenseTensor::<Complex64>::zeros(output_indices);
                 let mut flops = 0u64;
                 // Static striding: worker w owns subtasks w, w+W, w+2W, …
                 let mut assignment = worker;
                 while assignment < run_subtasks {
-                    let (result, subtask_flops) = match &seeds {
-                        Some(seeds) => {
-                            run_subtask_stem(&plan, seeds, &overrides, &sliced, assignment)?
+                    match (&stem_exec, &seeds) {
+                        (Some(exec), Some(seeds)) => {
+                            let ws = ws.as_mut().expect("workspace exists with stem_exec");
+                            let (result, subtask_flops) = run_subtask_stem_pooled(
+                                &plan, exec, seeds, &overrides, assignment, ws,
+                            )?;
+                            flops += subtask_flops;
+                            merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
+                            // The root tensor's buffer goes back to the
+                            // pool; its index set is recycled by the next
+                            // subtask of this worker.
+                            let (indices, buf) = result.into_parts();
+                            ws.pool.release(buf, &mut ws.counters);
+                            ws.root_indices = Some(indices);
                         }
-                        None => run_subtask(&plan, &overrides, &sliced, assignment)?,
-                    };
-                    flops += subtask_flops;
-                    merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
+                        (None, Some(seeds)) => {
+                            let (result, subtask_flops) =
+                                run_subtask_stem(&plan, seeds, &overrides, &sliced, assignment)?;
+                            flops += subtask_flops;
+                            merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
+                        }
+                        (_, None) => {
+                            let (result, subtask_flops) =
+                                run_subtask(&plan, &overrides, &sliced, assignment)?;
+                            flops += subtask_flops;
+                            merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
+                        }
+                    }
                     assignment += workers;
                 }
                 Ok((partial, flops))
             })();
-            let _ = tx.send((worker, outcome));
+            // Return the pool regardless of the outcome: buffers still
+            // sitting in the slot table of a failed replay are drained
+            // back first, so even an error leaves the free lists warm.
+            let mut counters = PoolCounters::default();
+            if let Some(mut ws) = ws {
+                for slot in ws.slots.iter_mut() {
+                    if let Some(buf) = slot.take() {
+                        ws.pool.release(buf, &mut ws.counters);
+                    }
+                }
+                counters = ws.counters;
+                plan.stem_pools.checkin(worker, ws.pool);
+            }
+            let _ = tx.send((worker, outcome.map(|(partial, flops)| (partial, flops, counters))));
         }));
     }
     drop(tx);
 
     // Collect every worker's partial, then reduce in worker order so the
     // summation order is schedule-independent.
-    let mut partials: Vec<Option<(DenseTensor<Complex64>, u64)>> =
-        (0..workers).map(|_| None).collect();
+    let mut partials: Vec<Option<WorkerOutcome>> = (0..workers).map(|_| None).collect();
     for _ in 0..workers {
         let (worker, outcome) = rx
             .recv()
@@ -563,15 +944,16 @@ pub fn execute_on_pool(
         partials[worker] = Some(outcome?);
     }
     let mut partials = partials.into_iter();
-    let (mut result, mut stem_flops) = partials
+    let (mut result, mut stem_flops, mut pool_counters) = partials
         .next()
         .flatten()
         .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
     for slot in partials {
-        let (partial, worker_flops) =
+        let (partial, worker_flops, worker_counters) =
             slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
         result.accumulate(&partial);
         stem_flops += worker_flops;
+        pool_counters.merge(&worker_counters);
     }
     let wall = start.elapsed().as_secs_f64();
     let sweep_wall = sweep_start.elapsed().as_secs_f64();
@@ -584,6 +966,10 @@ pub fn execute_on_pool(
         subtasks_total: total_subtasks,
         flops: stem_flops,
         stem_flops,
+        buffers_allocated: pool_counters.allocated,
+        buffers_reused: pool_counters.reused,
+        peak_bytes_in_flight: pool_counters.peak_in_flight_bytes,
+        predicted_peak_bytes: plan.memory_plan.stem.peak_bytes(),
         wall_seconds: wall,
         seconds_per_subtask: if run_subtasks > 0 {
             sweep_wall * workers as f64 / run_subtasks as f64
@@ -677,11 +1063,7 @@ fn stem_operand<'a>(
     if let Some(t) = slots[id].take() {
         return Ok(Cow::Owned(t));
     }
-    if let Some(t) = seeds.get(&id) {
-        return Ok(Cow::Borrowed(t));
-    }
-    cache
-        .tensor(id)
+    cached_tensor(seeds, cache, id)
         .map(Cow::Borrowed)
         .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and caches")))
 }
@@ -702,11 +1084,7 @@ fn run_subtask_stem(
     let cls = &plan.classification;
     let root = plan.tree.root();
     // `prepare_reuse` built the cache before any worker started.
-    let cache = plan
-        .branch_cache
-        .get()
-        .and_then(|r| r.as_ref().ok())
-        .ok_or_else(|| Error::Internal("branch cache missing during stem replay".into()))?;
+    let cache = cache_of(plan)?;
     if cls.class(root) != NodeClass::Stem {
         // No contraction depends on the slice assignment (empty slicing
         // set): the cached root tensor *is* the subtask result.
@@ -995,8 +1373,10 @@ mod tests {
         ));
         assert!(plan.slicing.len() >= 2, "plan must be sliced for this test");
         let pool = WorkerPool::new(4);
-        let reuse = ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true };
-        let replay = ExecutorConfig { workers: 4, max_subtasks: 0, reuse: false };
+        let reuse =
+            ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true, ..Default::default() };
+        let replay =
+            ExecutorConfig { workers: 4, max_subtasks: 0, reuse: false, ..Default::default() };
         for k in 0..4usize {
             let bits: Vec<u8> = (0..n).map(|q| ((k >> (q % 2)) & 1) as u8).collect();
             let overrides: Arc<LeafOverrides> =
@@ -1029,7 +1409,8 @@ mod tests {
         let (branch, frontier, stem) = plan.classification.contraction_counts();
         assert!(stem > 0);
         let pool = WorkerPool::new(2);
-        let config = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true };
+        let config =
+            ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, ..Default::default() };
         let overrides = Arc::new(LeafOverrides::new());
 
         // First execution builds the branch cache exactly once…
@@ -1060,7 +1441,8 @@ mod tests {
             &PlannerConfig { target_rank: 8, ..Default::default() },
         ));
         let pool = WorkerPool::new(2);
-        let config = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true };
+        let config =
+            ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, ..Default::default() };
         // Overriding a non-projector leaf (vertex 0 is an init tensor) with
         // its own data must bypass the caches — the classification cannot
         // vouch for it — and still produce the unmodified result.
@@ -1088,7 +1470,8 @@ mod tests {
         ));
         assert!(plan.slicing.is_empty());
         let pool = WorkerPool::new(1);
-        let config = ExecutorConfig { workers: 1, max_subtasks: 0, reuse: true };
+        let config =
+            ExecutorConfig { workers: 1, max_subtasks: 0, reuse: true, ..Default::default() };
         let (result, stats) =
             execute_on_pool(&pool, &plan, &Arc::new(LeafOverrides::new()), &config).unwrap();
         assert_eq!(stats.stem_flops, 0, "nothing depends on a slice assignment");
@@ -1096,6 +1479,91 @@ mod tests {
         let sv = StateVector::simulate(&circuit);
         let expected = sv.amplitude(&vec![0; n]);
         assert!((result.scalar_value() - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn pooled_and_unpooled_sweeps_are_bit_identical() {
+        let circuit = RqcConfig::small(3, 3, 8, 5).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        assert!(plan.slicing.len() >= 2, "plan must be sliced for this test");
+        let pool = WorkerPool::new(4);
+        let pooled = ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true, pool: true };
+        let unpooled = ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true, pool: false };
+        for k in 0..4usize {
+            let bits: Vec<u8> = (0..n).map(|q| ((k >> (q % 2)) & 1) as u8).collect();
+            let overrides: Arc<LeafOverrides> =
+                Arc::new(plan.build.rebind_output(&bits).unwrap().into_iter().collect());
+            let (a, sa) = execute_on_pool(&pool, &plan, &overrides, &pooled).unwrap();
+            let (b, sb) = execute_on_pool(&pool, &plan, &overrides, &unpooled).unwrap();
+            assert_eq!(a.data(), b.data(), "pooling must be bit-identical for {bits:?}");
+            // The first call additionally builds the plan-lifetime branch
+            // cache; the per-subtask and per-execution work must agree.
+            assert_eq!(sa.stem_flops, sb.stem_flops, "pooling must not change the stem work");
+            assert_eq!(sa.frontier_flops, sb.frontier_flops);
+            assert_eq!(sb.buffers_allocated, 0, "unpooled runs must not touch the pool");
+            assert_eq!(sb.peak_bytes_in_flight, 0);
+        }
+    }
+
+    #[test]
+    fn pool_counters_prove_zero_alloc_steady_state() {
+        let circuit = RqcConfig::small(3, 3, 8, 2).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        assert!(plan.num_subtasks() >= 4);
+        let pool = WorkerPool::new(2);
+        let config = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, pool: true };
+        let overrides = Arc::new(LeafOverrides::new());
+        assert_eq!(plan.pooled_buffers_retained(), 0);
+
+        // Cold pools: each worker allocates exactly the slot count the
+        // greedy interval assignment predicted — once, on its first
+        // subtask, regardless of how many subtasks it sweeps.
+        let (_, s1) = execute_on_pool(&pool, &plan, &overrides, &config).unwrap();
+        let slots = plan.memory_plan.stem.num_slots() as u64;
+        assert!(slots > 0);
+        assert_eq!(s1.buffers_allocated, s1.workers as u64 * slots);
+        assert!(s1.buffers_reused > 0, "later subtasks must recycle the first subtask's buffers");
+        assert_eq!(s1.peak_bytes_in_flight, s1.predicted_peak_bytes);
+        assert_eq!(s1.predicted_peak_bytes, plan.memory_plan.stem.peak_bytes());
+        assert!(plan.pooled_buffers_retained() > 0, "pools persist on the plan");
+
+        // Warm pools: the steady state allocates nothing at all.
+        let (_, s2) = execute_on_pool(&pool, &plan, &overrides, &config).unwrap();
+        assert_eq!(s2.buffers_allocated, 0, "second execution must be allocation-free");
+        assert!(s2.buffers_reused >= s1.buffers_reused);
+        assert_eq!(s2.peak_bytes_in_flight, s2.predicted_peak_bytes);
+    }
+
+    #[test]
+    fn unsliced_plan_bypasses_the_buffer_pool() {
+        let circuit = RqcConfig::small(2, 3, 6, 7).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 40, ..Default::default() },
+        ));
+        assert!(plan.slicing.is_empty());
+        let pool = WorkerPool::new(1);
+        let config = ExecutorConfig { workers: 1, max_subtasks: 0, reuse: true, pool: true };
+        let (_, stats) =
+            execute_on_pool(&pool, &plan, &Arc::new(LeafOverrides::new()), &config).unwrap();
+        // Nothing is slice-dependent: no pooled replay, no pool traffic,
+        // and the stem-phase prediction is zero accordingly.
+        assert_eq!(stats.buffers_allocated, 0);
+        assert_eq!(stats.peak_bytes_in_flight, 0);
+        assert_eq!(stats.predicted_peak_bytes, 0);
+        assert_eq!(plan.pooled_buffers_retained(), 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod engine;
 pub mod error;
 pub mod executor;
 pub mod planner;
+pub mod pool;
 pub mod projection;
 pub mod sampling;
 pub mod simulator;
@@ -34,6 +35,7 @@ pub use executor::{
     LeafOverrides, WorkerPool,
 };
 pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
+pub use pool::{BufferPool, PoolCounters, SharedWorkerPools};
 pub use projection::{project_run, RunProjection};
 pub use sampling::sample_bitstrings;
 pub use simulator::Simulator;

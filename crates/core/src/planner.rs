@@ -7,13 +7,15 @@
 //! executor needs to run the sliced contraction, and everything the
 //! benchmark harness needs to report complexities and overheads.
 
-use crate::executor::BranchCache;
+use crate::executor::{BranchCache, StemExec};
+use crate::pool::SharedWorkerPools;
 use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
 use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
 use qtn_slicing::{lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan};
 use qtn_tensornet::{
-    classify_nodes, extract_stem, greedy_path, random_greedy_paths, refine_path, simplify_network,
-    ContractionTree, NodeClassification, PathConfig, RefineObjective, Stem, TensorNetwork,
+    analyze_memory, classify_nodes, extract_stem, greedy_path, random_greedy_paths, refine_path,
+    simplify_network, ContractionTree, MemoryPlan, NodeClassification, PathConfig, RefineObjective,
+    Stem, TensorNetwork,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -35,6 +37,13 @@ pub struct PlannerConfig {
     pub refiner: RefinerConfig,
     /// Seed for the randomised path search.
     pub seed: u64,
+    /// Optional hard byte budget checked against the plan's *predicted*
+    /// peak buffer memory ([`MemoryPlan::peak_bytes`]). `target_rank` only
+    /// bounds the largest single tensor; the lifetime analysis predicts the
+    /// real per-worker working set, and [`crate::Engine::compile`] rejects
+    /// plans exceeding this budget with
+    /// [`crate::Error::MemoryBudgetExceeded`]. `None` disables the check.
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for PlannerConfig {
@@ -46,6 +55,7 @@ impl Default for PlannerConfig {
             refine_path: true,
             refiner: RefinerConfig::default(),
             seed: 0,
+            memory_budget_bytes: None,
         }
     }
 }
@@ -74,12 +84,25 @@ pub struct SimulationPlan {
     /// driving the executor's stem-only sweep (which contractions run once
     /// per plan, once per execution, or per subtask).
     pub classification: NodeClassification,
+    /// Plan-time lifetime analysis of every reuse phase: buffer liveness
+    /// intervals, greedy slot assignment by size class and the predicted
+    /// peak bytes the pooled executor's buffer traffic is checked against.
+    pub memory_plan: MemoryPlan,
+    /// Per-worker stem buffer pools, persisted across executions of this
+    /// plan (and all its clones) exactly like the branch cache: the second
+    /// execution of a compiled circuit allocates no stem buffers at all.
+    pub(crate) stem_pools: Arc<SharedWorkerPools>,
     /// Lazily built plan-lifetime cache of Branch-class tensors. Built
     /// exactly once (even under concurrent executions) by the first reusing
     /// execution; clones of the plan *share* the cache (and a build done
     /// through any clone), rather than deep-copying its tensors. Holds the
     /// build `Result` so a failed build is memoized rather than retried.
     pub(crate) branch_cache: Arc<OnceLock<Result<BranchCache, crate::error::Error>>>,
+    /// Lazily compiled pooled stem replay (contraction kernels + leaf
+    /// slicing recipes). Index-set-only, so it is plan-invariant under
+    /// shape-preserving output rebinding and, like the branch cache, built
+    /// once and shared by every execution and clone of the plan.
+    pub(crate) stem_exec: Arc<OnceLock<Result<Arc<StemExec>, crate::error::Error>>>,
 }
 
 impl SimulationPlan {
@@ -101,6 +124,19 @@ impl SimulationPlan {
     /// Whether the plan-lifetime branch cache has been built.
     pub fn branch_cache_built(&self) -> bool {
         self.branch_cache().is_some()
+    }
+
+    /// The worst per-phase predicted peak buffer memory
+    /// ([`MemoryPlan::peak_bytes`]): what a memory budget is checked
+    /// against, and what one worker's pool traffic can reach.
+    pub fn predicted_peak_bytes(&self) -> u64 {
+        self.memory_plan.peak_bytes()
+    }
+
+    /// Buffers currently retained by the plan's persistent per-worker stem
+    /// pools (observability for tests and benchmarks).
+    pub fn pooled_buffers_retained(&self) -> usize {
+        self.stem_pools.retained_buffers()
     }
 }
 
@@ -157,6 +193,12 @@ pub fn plan_simulation(
     let overridable: Vec<usize> = build.projector_leaves.iter().map(|&(_, node)| node).collect();
     let classification = classify_nodes(&tree, &slicing.sliced, &overridable);
 
+    // Lifetime analysis: first/last use of every intermediate, slot
+    // assignment and predicted peak bytes per reuse phase. Structure-only,
+    // and exact — the pooled executor replays the same acquire/release
+    // sequence at runtime.
+    let memory_plan = analyze_memory(&tree, &classification, &slicing.sliced);
+
     SimulationPlan {
         build,
         network,
@@ -167,7 +209,10 @@ pub fn plan_simulation(
         log_cost,
         overhead,
         classification,
+        memory_plan,
         branch_cache: Arc::new(OnceLock::new()),
+        stem_exec: Arc::new(OnceLock::new()),
+        stem_pools: Arc::new(SharedWorkerPools::default()),
     }
 }
 

@@ -86,7 +86,7 @@ pub use qtnsim_core as core;
 pub use qtn_circuit::{sycamore_rqc, Circuit, Gate, OutputSpec, RqcConfig};
 pub use qtn_tensor::{c64, Complex64, DenseTensor};
 pub use qtnsim_core::{
-    execute_plan, plan_simulation, try_execute_plan, CompiledCircuit, Engine, Error,
-    ExecutionReport, ExecutionStats, ExecutorConfig, OutputShape, PlannerConfig, Simulator,
-    WorkerPool,
+    execute_plan, plan_simulation, try_execute_plan, BufferPool, CompiledCircuit, Engine, Error,
+    ExecutionReport, ExecutionStats, ExecutorConfig, OutputShape, PlannerConfig, PoolCounters,
+    Simulator, WorkerPool,
 };

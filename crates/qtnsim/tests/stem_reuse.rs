@@ -17,7 +17,7 @@ fn planner() -> PlannerConfig {
 }
 
 fn executor(reuse: bool) -> ExecutorConfig {
-    ExecutorConfig { workers: 4, max_subtasks: 0, reuse }
+    ExecutorConfig { workers: 4, max_subtasks: 0, reuse, ..Default::default() }
 }
 
 fn bitstrings(n: usize, count: usize) -> Vec<Vec<u8>> {

@@ -12,12 +12,15 @@ use crate::complex::Scalar;
 use crate::dense::DenseTensor;
 use crate::gemm::{gemm_auto, gemm_flops};
 use crate::index::{IndexId, IndexSet};
-use crate::permute::permute_to_order;
+use crate::permute::{permutation_to_order, permute_into, PermutePlan};
 
 /// A fully resolved plan for contracting a pair of tensors.
 ///
 /// The spec is independent of the numeric data so it can be reused across
-/// all slice subtasks, which share identical shapes.
+/// all slice subtasks, which share identical shapes. The TTGT operand
+/// orders ([`left_order`](Self::left_order) / [`right_order`](Self::right_order))
+/// are precomputed here so the per-contraction hot path performs no index
+/// bookkeeping allocations.
 #[derive(Debug, Clone)]
 pub struct ContractionSpec {
     /// Free (kept) indices of the left operand, in output order.
@@ -28,6 +31,10 @@ pub struct ContractionSpec {
     pub contracted: Vec<IndexId>,
     /// Index set of the output tensor: `left_free ++ right_free`.
     pub output: IndexSet,
+    /// Axis order the left operand is permuted to: `left_free ++ contracted`.
+    left_order: IndexSet,
+    /// Axis order the right operand is permuted to: `contracted ++ right_free`.
+    right_order: IndexSet,
 }
 
 impl ContractionSpec {
@@ -40,9 +47,35 @@ impl ContractionSpec {
         let contracted = left.intersection(right);
         let left_free = left.difference(right);
         let right_free = right.difference(left);
-        let mut out = left_free.clone();
-        out.extend(right_free.iter().copied());
-        Self { left_free, right_free, contracted, output: IndexSet::new(out) }
+        let mut out = Vec::with_capacity(left_free.len() + right_free.len());
+        out.extend_from_slice(&left_free);
+        out.extend_from_slice(&right_free);
+        let mut left_order = Vec::with_capacity(left_free.len() + contracted.len());
+        left_order.extend_from_slice(&left_free);
+        left_order.extend_from_slice(&contracted);
+        let mut right_order = Vec::with_capacity(contracted.len() + right_free.len());
+        right_order.extend_from_slice(&contracted);
+        right_order.extend_from_slice(&right_free);
+        Self {
+            left_free,
+            right_free,
+            contracted,
+            output: IndexSet::new(out),
+            left_order: IndexSet::new(left_order),
+            right_order: IndexSet::new(right_order),
+        }
+    }
+
+    /// The axis order the left operand is permuted to before the GEMM:
+    /// `left_free ++ contracted` (free indices become GEMM rows).
+    pub fn left_order(&self) -> &IndexSet {
+        &self.left_order
+    }
+
+    /// The axis order the right operand is permuted to before the GEMM:
+    /// `contracted ++ right_free` (free indices become GEMM columns).
+    pub fn right_order(&self) -> &IndexSet {
+        &self.right_order
     }
 
     /// GEMM shape `(m, n, k)` implied by this spec.
@@ -85,21 +118,117 @@ pub fn contract_pair_with_spec<T: Scalar>(
     right: &DenseTensor<T>,
     spec: &ContractionSpec,
 ) -> DenseTensor<T> {
+    let mut left_scratch = vec![T::zero(); left.len()];
+    let mut right_scratch = vec![T::zero(); right.len()];
+    let mut out = DenseTensor::zeros(spec.output.clone());
+    contract_pair_into_with_spec(
+        left,
+        right,
+        spec,
+        &mut left_scratch,
+        &mut right_scratch,
+        out.data_mut(),
+    );
+    out
+}
+
+/// Contract two tensors into caller-provided buffers — no allocation.
+///
+/// Permutes `left` into `left_scratch` (length `left.len()`) and `right`
+/// into `right_scratch` (length `right.len()`), zeroes `out` (length
+/// `spec.output.len()`) and runs the GEMM. `out` receives the amplitudes of
+/// the contraction in `spec.output` axis order; the result is bit-identical
+/// to [`contract_pair_with_spec`], which is itself built on this function.
+///
+/// This is the pooled-execution entry point: the executor's steady-state
+/// subtask loop feeds recycled buffers here instead of allocating a fresh
+/// tensor per contraction. For a reusable, fully precomputed variant (the
+/// permutation maps built once per plan rather than per call) see
+/// [`ContractionKernel`].
+pub fn contract_pair_into_with_spec<T: Scalar>(
+    left: &DenseTensor<T>,
+    right: &DenseTensor<T>,
+    spec: &ContractionSpec,
+    left_scratch: &mut [T],
+    right_scratch: &mut [T],
+    out: &mut [T],
+) {
     // Permute left to [left_free..., contracted...] and right to
     // [contracted..., right_free...], then a single GEMM yields the output
     // in [left_free..., right_free...] order directly.
-    let left_order: IndexSet =
-        spec.left_free.iter().chain(spec.contracted.iter()).copied().collect();
-    let right_order: IndexSet =
-        spec.contracted.iter().chain(spec.right_free.iter()).copied().collect();
-
-    let lp = permute_to_order(left, &left_order);
-    let rp = permute_to_order(right, &right_order);
-
+    permute_into(left, &permutation_to_order(left.indices(), &spec.left_order), left_scratch);
+    permute_into(right, &permutation_to_order(right.indices(), &spec.right_order), right_scratch);
     let (m, n, k) = spec.gemm_shape();
-    let mut out = DenseTensor::zeros(spec.output.clone());
-    gemm_auto(lp.data(), rp.data(), out.data_mut(), m, n, k);
-    out
+    assert_eq!(out.len(), m * n, "output buffer length mismatch");
+    out.fill(T::zero());
+    gemm_auto(left_scratch, right_scratch, out, m, n, k);
+}
+
+/// A fully compiled pairwise contraction: the [`ContractionSpec`] plus the
+/// two TTGT [`PermutePlan`]s, built once per `(left, right)` index-set pair
+/// and applied to many buffers.
+///
+/// This is what the executor's stem loop replays per slice subtask: every
+/// subtask contracts tensors of identical shape and axis order, so the spec,
+/// the permutation maps (reduced with the recursion formula of §5.3.1 where
+/// possible) and the GEMM shape are all plan-time constants. Applying a
+/// kernel performs **zero heap allocations** — all buffers are supplied by
+/// the caller.
+#[derive(Debug, Clone)]
+pub struct ContractionKernel {
+    spec: ContractionSpec,
+    left_plan: PermutePlan,
+    right_plan: PermutePlan,
+}
+
+impl ContractionKernel {
+    /// Compile the contraction of two operand index sets (order matters: it
+    /// fixes the permutation maps).
+    pub fn new(left: &IndexSet, right: &IndexSet) -> Self {
+        let spec = ContractionSpec::new(left, right);
+        let left_plan =
+            PermutePlan::reduced(left.rank(), &permutation_to_order(left, &spec.left_order));
+        let right_plan =
+            PermutePlan::reduced(right.rank(), &permutation_to_order(right, &spec.right_order));
+        Self { spec, left_plan, right_plan }
+    }
+
+    /// The underlying contraction spec.
+    pub fn spec(&self) -> &ContractionSpec {
+        &self.spec
+    }
+
+    /// Index set of the output tensor.
+    pub fn output(&self) -> &IndexSet {
+        &self.spec.output
+    }
+
+    /// Real floating point operations one application performs.
+    pub fn flops(&self) -> u64 {
+        self.spec.flops()
+    }
+
+    /// Contract raw operand buffers into `out`, using the caller's scratch
+    /// buffers for the TTGT permutations. Buffer lengths must match the
+    /// operand index sets the kernel was compiled for (`left_scratch` the
+    /// left operand, `right_scratch` the right, `out` the output). The
+    /// values written are bit-identical to [`contract_pair`] on tensors with
+    /// the compiled axis orders.
+    pub fn contract_into<T: Scalar>(
+        &self,
+        left: &[T],
+        right: &[T],
+        left_scratch: &mut [T],
+        right_scratch: &mut [T],
+        out: &mut [T],
+    ) {
+        self.left_plan.apply_into(left, left_scratch);
+        self.right_plan.apply_into(right, right_scratch);
+        let (m, n, k) = self.spec.gemm_shape();
+        assert_eq!(out.len(), m * n, "output buffer length mismatch");
+        out.fill(T::zero());
+        gemm_auto(left_scratch, right_scratch, out, m, n, k);
+    }
 }
 
 /// Contract a whole list of tensors sequentially in the given pairwise order.
@@ -286,6 +415,70 @@ mod tests {
         let direct = contract_pair(&contract_pair(&t0, &t1), &t2);
         let seq = contract_sequence(vec![t0, t1, t2], &[(0, 1), (3, 2)]);
         assert_tensor_close(&seq, &direct);
+    }
+
+    #[test]
+    fn spec_precomputes_ttgt_orders() {
+        let a = IndexSet::new(vec![0, 1, 2]);
+        let b = IndexSet::new(vec![2, 3]);
+        let spec = ContractionSpec::new(&a, &b);
+        assert_eq!(spec.left_order().axes(), &[0, 1, 2]);
+        assert_eq!(spec.right_order().axes(), &[2, 3]);
+    }
+
+    #[test]
+    fn contract_into_is_bit_identical_to_contract_pair() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cases: Vec<(Vec<IndexId>, Vec<IndexId>)> = vec![
+            (vec![0, 1, 2, 3], vec![2, 3, 4, 5]),
+            (vec![7, 3, 5], vec![5, 3, 9, 11]),
+            (vec![0, 1], vec![2, 3]),
+            (vec![4, 6], vec![6, 4]),
+        ];
+        for (la, lb) in cases {
+            let a = random_tensor(&mut rng, la);
+            let b = random_tensor(&mut rng, lb);
+            let owned = contract_pair(&a, &b);
+            let spec = ContractionSpec::new(a.indices(), b.indices());
+            let mut ls = vec![Complex64::ZERO; a.len()];
+            let mut rs = vec![Complex64::ZERO; b.len()];
+            // A dirty output buffer must be fully overwritten.
+            let mut out = vec![c64(7.0, -7.0); spec.output.len()];
+            contract_pair_into_with_spec(&a, &b, &spec, &mut ls, &mut rs, &mut out);
+            assert_eq!(out.as_slice(), owned.data(), "into-variant must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn kernel_matches_contract_pair_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a = random_tensor(&mut rng, vec![0, 1, 2, 3, 4]);
+        let b = random_tensor(&mut rng, vec![4, 3, 5, 6]);
+        let owned = contract_pair(&a, &b);
+        let kernel = ContractionKernel::new(a.indices(), b.indices());
+        assert_eq!(kernel.output(), owned.indices());
+        assert_eq!(kernel.flops(), kernel.spec().flops());
+        let mut ls = vec![Complex64::ZERO; a.len()];
+        let mut rs = vec![Complex64::ZERO; b.len()];
+        let mut out = vec![c64(1.0, 1.0); kernel.output().len()];
+        // Apply twice to the same dirty buffer: reuse must not change bits.
+        for _ in 0..2 {
+            kernel.contract_into(a.data(), b.data(), &mut ls, &mut rs, &mut out);
+            assert_eq!(out.as_slice(), owned.data(), "kernel must be bit-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer length mismatch")]
+    fn contract_into_rejects_wrong_output_length() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = random_tensor(&mut rng, vec![0, 1]);
+        let b = random_tensor(&mut rng, vec![1, 2]);
+        let spec = ContractionSpec::new(a.indices(), b.indices());
+        let mut ls = vec![Complex64::ZERO; a.len()];
+        let mut rs = vec![Complex64::ZERO; b.len()];
+        let mut out = vec![Complex64::ZERO; 1];
+        contract_pair_into_with_spec(&a, &b, &spec, &mut ls, &mut rs, &mut out);
     }
 
     #[test]

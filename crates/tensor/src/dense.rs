@@ -149,6 +149,67 @@ impl<T: Scalar> DenseTensor<T> {
         Self { indices: out_indices, data: out }
     }
 
+    /// Fix several axes at once, writing the sliced tensor into a
+    /// caller-provided buffer — no allocation.
+    ///
+    /// `fixes` lists `(axis position, bit)` pairs; the remaining axes keep
+    /// their relative order, so the result is element-for-element identical
+    /// to applying [`slice_index`](Self::slice_index) once per fixed axis.
+    /// This is the pooled executor's leaf-materialisation primitive: a slice
+    /// subtask slices every sliced edge of a leaf straight into a recycled
+    /// buffer instead of cloning the leaf and slicing it down edge by edge.
+    ///
+    /// # Panics
+    /// Panics if a position is out of range or fixed twice, or if `dst` does
+    /// not hold exactly `2^(rank - fixes.len())` elements.
+    pub fn slice_into(&self, fixes: &[(usize, u8)], dst: &mut [T]) {
+        let rank = self.rank();
+        assert!(fixes.len() <= rank, "more fixed axes than tensor axes");
+        let out_rank = rank - fixes.len();
+        assert_eq!(dst.len(), 1usize << out_rank, "destination buffer length mismatch");
+
+        // Base source offset from the fixed bits, and a mask of fixed axes
+        // (one bit per axis, in stride position).
+        let mut base = 0usize;
+        let mut fixed_mask = 0usize;
+        for &(pos, bit) in fixes {
+            assert!(pos < rank, "axis position {pos} out of range for rank {rank}");
+            let stride = 1usize << (rank - 1 - pos);
+            assert_eq!(fixed_mask & stride, 0, "axis {pos} fixed twice");
+            fixed_mask |= stride;
+            base |= (bit as usize & 1) * stride;
+        }
+
+        // Strides of the free axes, slowest first (stack-allocated: ranks
+        // are far below 64 by construction of the linear offset).
+        let mut free = [0usize; 64];
+        let mut num_free = 0;
+        for pos in 0..rank {
+            let stride = 1usize << (rank - 1 - pos);
+            if fixed_mask & stride == 0 {
+                free[num_free] = stride;
+                num_free += 1;
+            }
+        }
+
+        // Trailing free axes are contiguous in the source: copy whole runs.
+        let mut trailing = 0;
+        while trailing < rank && fixed_mask & (1usize << trailing) == 0 {
+            trailing += 1;
+        }
+        let run = 1usize << trailing;
+        let scattered = num_free - trailing;
+        for (chunk, dst_run) in dst.chunks_exact_mut(run).enumerate() {
+            let mut src = base;
+            let mut bits = chunk;
+            for i in (0..scattered).rev() {
+                src |= (bits & 1) * free[i];
+                bits >>= 1;
+            }
+            dst_run.copy_from_slice(&self.data[src..src + run]);
+        }
+    }
+
     /// Inverse of [`slice_index`](Self::slice_index): write this tensor into
     /// the half of `target` selected by fixing `index = value`.
     ///
@@ -280,6 +341,52 @@ mod tests {
             }
             assert_eq!(rebuilt, t);
         }
+    }
+
+    #[test]
+    fn slice_into_matches_repeated_slice_index() {
+        let t = iota(IndexSet::new(vec![0, 1, 2, 3, 4]));
+        // Fix axes in every pattern of up to three positions.
+        let patterns: Vec<Vec<(usize, u8)>> = vec![
+            vec![],
+            vec![(0, 1)],
+            vec![(4, 0)],
+            vec![(2, 1)],
+            vec![(1, 0), (3, 1)],
+            vec![(0, 1), (4, 1)],
+            vec![(0, 0), (2, 1), (4, 0)],
+            vec![(1, 1), (2, 0), (3, 1)],
+        ];
+        for fixes in patterns {
+            // Oracle: repeated slice_index, highest position first so the
+            // remaining positions stay valid.
+            let mut sorted = fixes.clone();
+            sorted.sort_by_key(|&(pos, _)| std::cmp::Reverse(pos));
+            let mut oracle = t.clone();
+            for &(pos, bit) in &sorted {
+                let id = oracle.indices().axes()[pos];
+                oracle = oracle.slice_index(id, bit);
+            }
+            let mut dst = vec![c64(-1.0, -1.0); oracle.len()];
+            t.slice_into(&fixes, &mut dst);
+            assert_eq!(dst.as_slice(), oracle.data(), "mismatch for fixes {fixes:?}");
+        }
+    }
+
+    #[test]
+    fn slice_into_all_axes_yields_one_element() {
+        let t = iota(IndexSet::new(vec![0, 1]));
+        let mut dst = vec![Complex64::ZERO; 1];
+        t.slice_into(&[(0, 1), (1, 0)], &mut dst);
+        assert_eq!(dst[0], t.get(&[1, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed twice")]
+    fn slice_into_rejects_duplicate_axis() {
+        let t = iota(IndexSet::new(vec![0, 1]));
+        let mut dst = vec![Complex64::ZERO; 1];
+        t.slice_into(&[(0, 0), (0, 1)], &mut dst);
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub mod index;
 pub mod permute;
 
 pub use complex::{c32, c64, Complex32, Complex64, Scalar};
-pub use contract::{contract_pair, ContractionSpec};
+pub use contract::{
+    contract_pair, contract_pair_into_with_spec, contract_pair_with_spec, ContractionKernel,
+    ContractionSpec,
+};
 pub use convert::{to_double, to_single};
 pub use dense::DenseTensor;
 pub use index::{IndexId, IndexSet};

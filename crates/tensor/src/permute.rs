@@ -67,22 +67,24 @@ pub fn permute_into<T: Scalar>(tensor: &DenseTensor<T>, perm: &[usize], dst: &mu
     }
 }
 
+/// The axis permutation taking `from`'s order to `to`
+/// (`perm[new_axis] = old_axis`). Both sets must hold the same indices.
+///
+/// # Panics
+/// Panics if the ranks differ or an index of `to` is missing from `from`.
+pub fn permutation_to_order(from: &IndexSet, to: &IndexSet) -> Vec<usize> {
+    assert_eq!(from.rank(), to.rank(), "target order rank mismatch");
+    to.iter()
+        .map(|id| from.position(id).unwrap_or_else(|| panic!("index {id} missing from operand")))
+        .collect()
+}
+
 /// Reorder a tensor so its axes appear in the order given by `target`.
 ///
 /// Convenience wrapper used by the contraction code: computes the axis
 /// permutation from the current order to `target` and applies it.
 pub fn permute_to_order<T: Scalar>(tensor: &DenseTensor<T>, target: &IndexSet) -> DenseTensor<T> {
-    assert_eq!(tensor.rank(), target.rank(), "target order rank mismatch");
-    let perm: Vec<usize> = target
-        .iter()
-        .map(|id| {
-            tensor
-                .indices()
-                .position(id)
-                .unwrap_or_else(|| panic!("index {id} missing from tensor"))
-        })
-        .collect();
-    permute(tensor, &perm)
+    permute(tensor, &permutation_to_order(tensor.indices(), target))
 }
 
 /// How a [`PermutePlan`] stores its offset table.

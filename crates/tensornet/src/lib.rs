@@ -16,6 +16,7 @@
 pub mod classify;
 pub mod cost;
 pub mod graph;
+pub mod lifetime;
 pub mod path;
 pub mod refine;
 pub mod simplify;
@@ -25,6 +26,7 @@ pub mod tree;
 pub use classify::{classify_nodes, NodeClass, NodeClassification};
 pub use cost::{log2_add, log2_sum, LogCost};
 pub use graph::TensorNetwork;
+pub use lifetime::{analyze_memory, BufferInterval, MemoryPlan, PhaseMemoryPlan};
 pub use path::{greedy_path, partition_path, random_greedy_paths, PathConfig};
 pub use refine::{refine_path, RefineObjective, RefineReport};
 pub use simplify::simplify_network;

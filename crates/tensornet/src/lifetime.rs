@@ -1,0 +1,455 @@
+//! Plan-time lifetime analysis and memory planning.
+//!
+//! The paper's central idea is *lifetime-based* memory optimization: in a
+//! contraction tree every intermediate tensor has a statically known first
+//! use (the contraction that produces it) and last use (the single
+//! contraction that consumes it — each node feeds exactly one parent). At
+//! plan time those intervals are therefore exact, and buffers can be
+//! assigned to a small set of reusable *slots* instead of being allocated
+//! per contraction.
+//!
+//! [`analyze_memory`] walks the tree once per reuse phase (Branch /
+//! Frontier / Stem, see [`crate::classify`]) and produces, for each phase:
+//!
+//! * the liveness [`BufferInterval`] of every phase-owned buffer (the
+//!   phase's leaves, materialised up front, and the intermediates its
+//!   schedule produces);
+//! * a greedy interval-to-slot assignment **by size class** (all bond
+//!   dimensions are 2, so a buffer's size class is simply its rank): a
+//!   freed slot of the right class is reused, a new slot is opened only
+//!   when none is free — so per class the slot count equals the maximum
+//!   number of simultaneously live buffers of that class;
+//! * the predicted `peak_bytes`: the exact high-water mark of live buffer
+//!   bytes, including the transient TTGT permutation scratch of each
+//!   contraction.
+//!
+//! The simulation mirrors the executor's pooled stem replay step for step —
+//! leaves acquired in node-id order, then per contraction: left scratch,
+//! right scratch, output acquired; scratch released; consumed phase-owned
+//! operands released; kept tensors (the classification's keep sets and the
+//! phase root) held to the end. Because the executor performs the *same*
+//! sequence against its runtime buffer pool, the predicted peak and slot
+//! counts are not estimates but exact: a pooled execution's
+//! `peak_bytes_in_flight` equals the stem phase's `peak_bytes`, and the
+//! pool allocates exactly `num_slots` buffers per worker before reaching
+//! its zero-allocation steady state. The unpooled builders (branch and
+//! frontier caches) follow the same produce/consume order with plain
+//! allocations, so their phase predictions bound those footprints too.
+
+use crate::classify::{NodeClass, NodeClassification};
+use crate::tree::ContractionTree;
+use qtn_tensor::IndexId;
+use std::collections::BTreeMap;
+
+/// Bytes of one amplitude: a double-precision complex number.
+pub const BYTES_PER_AMPLITUDE: u64 = 16;
+
+/// Bytes of a buffer holding a tensor of the given rank (`16 · 2^rank`).
+pub fn bytes_of_rank(rank: usize) -> u64 {
+    BYTES_PER_AMPLITUDE << rank
+}
+
+/// The liveness interval of one phase-owned buffer, in phase time: step 0
+/// materialises every leaf of the phase, step `i + 1` is the `i`-th
+/// contraction of the phase schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferInterval {
+    /// Tree node whose tensor lives in this buffer.
+    pub node: usize,
+    /// Effective rank of the buffer (sliced edges removed): its size class.
+    pub rank: usize,
+    /// Step that produces the buffer (0 for phase leaves).
+    pub produced: usize,
+    /// Step that consumes it, or `None` if it outlives the phase (keep-set
+    /// tensors and the phase root).
+    pub consumed: Option<usize>,
+    /// Slot the greedy assignment maps this interval to.
+    pub slot: usize,
+}
+
+/// The memory plan of one reuse phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseMemoryPlan {
+    intervals: Vec<BufferInterval>,
+    slot_ranks: Vec<usize>,
+    peak_bytes: u64,
+    kept_bytes: u64,
+    max_live_buffers: usize,
+    peak_live_by_rank: BTreeMap<usize, usize>,
+}
+
+impl PhaseMemoryPlan {
+    /// Liveness intervals of the phase-owned buffers, in production order
+    /// (leaves first in node-id order, then schedule outputs).
+    pub fn intervals(&self) -> &[BufferInterval] {
+        &self.intervals
+    }
+
+    /// Size class (rank) of every slot the greedy assignment opened,
+    /// including the transient permutation-scratch slots.
+    pub fn slot_ranks(&self) -> &[usize] {
+        &self.slot_ranks
+    }
+
+    /// Number of slots: exactly how many buffers a pooled executor allocates
+    /// for this phase before reaching the zero-allocation steady state.
+    pub fn num_slots(&self) -> usize {
+        self.slot_ranks.len()
+    }
+
+    /// Total bytes of all slots — the arena capacity a pool ends up holding.
+    /// Always at least [`peak_bytes`](Self::peak_bytes) (slots of different
+    /// size classes cannot share storage).
+    pub fn arena_bytes(&self) -> u64 {
+        self.slot_ranks.iter().map(|&r| bytes_of_rank(r)).sum()
+    }
+
+    /// Predicted high-water mark of live buffer bytes, scratch included.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Bytes of the tensors that outlive the phase (keep sets and root).
+    pub fn kept_bytes(&self) -> u64 {
+        self.kept_bytes
+    }
+
+    /// Maximum number of simultaneously live buffers of any size.
+    pub fn max_live_buffers(&self) -> usize {
+        self.max_live_buffers
+    }
+
+    /// Slots opened per size class.
+    pub fn slot_count_by_rank(&self) -> BTreeMap<usize, usize> {
+        let mut counts = BTreeMap::new();
+        for &r in &self.slot_ranks {
+            *counts.entry(r).or_insert(0usize) += 1;
+        }
+        counts
+    }
+
+    /// Maximum simultaneously live buffers per size class. The greedy
+    /// assignment opens exactly this many slots of each class.
+    pub fn peak_live_by_rank(&self) -> &BTreeMap<usize, usize> {
+        &self.peak_live_by_rank
+    }
+}
+
+/// The complete lifetime-based memory plan of a contraction tree: one
+/// [`PhaseMemoryPlan`] per reuse phase.
+#[derive(Debug, Clone)]
+pub struct MemoryPlan {
+    /// Plan-lifetime phase: contracted once per plan into the branch cache.
+    pub branch: PhaseMemoryPlan,
+    /// Per-execution phase: rebuilt once per execute from the overrides.
+    pub frontier: PhaseMemoryPlan,
+    /// Per-subtask phase: replayed `2^|S|` times — the pooled hot loop.
+    pub stem: PhaseMemoryPlan,
+}
+
+impl MemoryPlan {
+    /// The worst per-phase peak: the minimum buffer memory one worker needs
+    /// to execute any single phase of the plan. This is the number a memory
+    /// budget is checked against.
+    pub fn peak_bytes(&self) -> u64 {
+        self.branch.peak_bytes.max(self.frontier.peak_bytes).max(self.stem.peak_bytes)
+    }
+
+    /// The phase plan for a node class.
+    pub fn phase(&self, class: NodeClass) -> &PhaseMemoryPlan {
+        match class {
+            NodeClass::Branch => &self.branch,
+            NodeClass::Frontier => &self.frontier,
+            NodeClass::Stem => &self.stem,
+        }
+    }
+}
+
+/// Greedy slot allocator used by the simulation: size-classed free lists,
+/// exactly like the executor's runtime `BufferPool`.
+#[derive(Default)]
+struct PoolSim {
+    free: BTreeMap<usize, Vec<usize>>,
+    slot_ranks: Vec<usize>,
+    live_bytes: u64,
+    peak_bytes: u64,
+    live_buffers: usize,
+    max_live_buffers: usize,
+    live_by_rank: BTreeMap<usize, usize>,
+    peak_live_by_rank: BTreeMap<usize, usize>,
+}
+
+impl PoolSim {
+    fn acquire(&mut self, rank: usize) -> usize {
+        let slot = match self.free.get_mut(&rank).and_then(Vec::pop) {
+            Some(slot) => slot,
+            None => {
+                self.slot_ranks.push(rank);
+                self.slot_ranks.len() - 1
+            }
+        };
+        self.live_bytes += bytes_of_rank(rank);
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.live_buffers += 1;
+        self.max_live_buffers = self.max_live_buffers.max(self.live_buffers);
+        let live = self.live_by_rank.entry(rank).or_insert(0);
+        *live += 1;
+        let peak = self.peak_live_by_rank.entry(rank).or_insert(0);
+        *peak = (*peak).max(*live);
+        slot
+    }
+
+    fn release(&mut self, slot: usize) {
+        let rank = self.slot_ranks[slot];
+        self.live_bytes -= bytes_of_rank(rank);
+        self.live_buffers -= 1;
+        *self.live_by_rank.get_mut(&rank).expect("release of never-acquired rank") -= 1;
+        self.free.entry(rank).or_default().push(slot);
+    }
+}
+
+/// Effective rank of a node's subtask tensor: the node's indices minus the
+/// sliced edges it carries (Branch/Frontier nodes carry none by definition).
+fn effective_rank(tree: &ContractionTree, sliced: &[IndexId], node: usize) -> usize {
+    tree.node(node).indices.iter().filter(|e| !sliced.contains(e)).count()
+}
+
+/// Simulate one phase: leaves up front, then the phase schedule, mirroring
+/// the executor's acquire/release order exactly (left scratch, right
+/// scratch, output; release scratch; release consumed phase-owned operands).
+fn analyze_phase(
+    tree: &ContractionTree,
+    classification: &NodeClassification,
+    sliced: &[IndexId],
+    phase: NodeClass,
+    schedule: &[(usize, usize, usize)],
+) -> PhaseMemoryPlan {
+    let mut sim = PoolSim::default();
+    let mut intervals: Vec<BufferInterval> = Vec::new();
+    let mut interval_of: BTreeMap<usize, usize> = BTreeMap::new();
+
+    for (id, node) in tree.nodes().iter().enumerate() {
+        if node.is_leaf() && classification.class(id) == phase {
+            let rank = effective_rank(tree, sliced, id);
+            let slot = sim.acquire(rank);
+            interval_of.insert(id, intervals.len());
+            intervals.push(BufferInterval { node: id, rank, produced: 0, consumed: None, slot });
+        }
+    }
+
+    for (i, &(l, r, out)) in schedule.iter().enumerate() {
+        let step = i + 1;
+        // TTGT scratch for both operands (pooled even when the operand
+        // itself is a borrowed cache tensor), then the output buffer.
+        let left_scratch = sim.acquire(effective_rank(tree, sliced, l));
+        let right_scratch = sim.acquire(effective_rank(tree, sliced, r));
+        let rank = effective_rank(tree, sliced, out);
+        let slot = sim.acquire(rank);
+        sim.release(left_scratch);
+        sim.release(right_scratch);
+        for operand in [l, r] {
+            if classification.class(operand) == phase {
+                let idx = interval_of[&operand];
+                intervals[idx].consumed = Some(step);
+                sim.release(intervals[idx].slot);
+            }
+        }
+        interval_of.insert(out, intervals.len());
+        intervals.push(BufferInterval { node: out, rank, produced: step, consumed: None, slot });
+    }
+
+    let kept_bytes =
+        intervals.iter().filter(|iv| iv.consumed.is_none()).map(|iv| bytes_of_rank(iv.rank)).sum();
+    PhaseMemoryPlan {
+        intervals,
+        slot_ranks: sim.slot_ranks,
+        peak_bytes: sim.peak_bytes,
+        kept_bytes,
+        max_live_buffers: sim.max_live_buffers,
+        peak_live_by_rank: sim.peak_live_by_rank,
+    }
+}
+
+/// Compute the lifetime-based memory plan of a classified contraction tree.
+///
+/// `sliced` is the plan's slicing set: it shrinks the effective rank of
+/// every Stem-class tensor (sliced edges are fixed per subtask) and so
+/// determines the stem phase's size classes. The per-phase schedules come
+/// from the [`NodeClassification`], keeping this analysis — like the rest
+/// of planning — purely structural: no tensor data is touched.
+pub fn analyze_memory(
+    tree: &ContractionTree,
+    classification: &NodeClassification,
+    sliced: &[IndexId],
+) -> MemoryPlan {
+    MemoryPlan {
+        branch: analyze_phase(
+            tree,
+            classification,
+            sliced,
+            NodeClass::Branch,
+            classification.branch_schedule(),
+        ),
+        frontier: analyze_phase(
+            tree,
+            classification,
+            sliced,
+            NodeClass::Frontier,
+            classification.frontier_schedule(),
+        ),
+        stem: analyze_phase(
+            tree,
+            classification,
+            sliced,
+            NodeClass::Stem,
+            classification.stem_schedule(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_nodes;
+    use crate::graph::TensorNetwork;
+    use qtn_tensor::IndexSet;
+
+    /// A 4-tensor chain `[0] - [0,1] - [1,2] - [2]` contracted linearly:
+    /// leaves 0..4, internals 4 (=0+1), 5 (=4+2), 6 (=5+3, root).
+    fn chain4_tree() -> ContractionTree {
+        let g = TensorNetwork::new(&[
+            IndexSet::new(vec![0]),
+            IndexSet::new(vec![0, 1]),
+            IndexSet::new(vec![1, 2]),
+            IndexSet::new(vec![2]),
+        ]);
+        ContractionTree::from_pairs(&g, &[(0, 1), (4, 2), (5, 3)])
+    }
+
+    #[test]
+    fn unsliced_chain_peak_is_exact() {
+        let tree = chain4_tree();
+        let cls = classify_nodes(&tree, &[], &[]);
+        let plan = analyze_memory(&tree, &cls, &[]);
+
+        // Everything is Branch class; hand simulation (in amplitudes):
+        //   t0: leaves r1+r2+r2+r1 = 12 live.
+        //   step1 (0,1→4): +scratch r1+r2, +out r1 → 20 amps = 320 B peak.
+        //   step2 (4,2→5): 8 live, +r1+r2 scratch +r1 out → 16 amps.
+        //   step3 (5,3→6): 4 live, +r1+r1 scratch +r0 out → 9 amps.
+        assert_eq!(plan.branch.peak_bytes(), 320);
+        assert_eq!(plan.frontier.peak_bytes(), 0);
+        assert_eq!(plan.stem.peak_bytes(), 0);
+        assert_eq!(plan.peak_bytes(), 320);
+        // Only the root survives the phase.
+        assert_eq!(plan.branch.kept_bytes(), 16);
+        // Slots: rank 1 peaks at 4 concurrent, rank 2 at 3, rank 0 at 1.
+        let slots = plan.branch.slot_count_by_rank();
+        assert_eq!(slots.get(&1), Some(&4));
+        assert_eq!(slots.get(&2), Some(&3));
+        assert_eq!(slots.get(&0), Some(&1));
+        assert_eq!(plan.branch.num_slots(), 8);
+        assert_eq!(plan.branch.arena_bytes(), 4 * 32 + 3 * 64 + 16);
+        assert!(plan.branch.arena_bytes() >= plan.branch.peak_bytes());
+    }
+
+    #[test]
+    fn sliced_chain_splits_phases() {
+        let tree = chain4_tree();
+        // Slice edge 0: leaves 0, 1 and all internals are Stem; leaves 2, 3
+        // stay Branch (kept as stem seeds, no branch contractions).
+        let cls = classify_nodes(&tree, &[0], &[]);
+        let plan = analyze_memory(&tree, &cls, &[0]);
+
+        // Branch phase: the two kept leaves, live from t0 to phase end.
+        assert_eq!(plan.branch.peak_bytes(), 64 + 32);
+        assert_eq!(plan.branch.kept_bytes(), 96);
+        assert!(plan.branch.intervals().iter().all(|iv| iv.consumed.is_none()));
+
+        // Stem phase (sliced ranks): leaf0 r0, leaf1 r1; node4 r1, node5 r1,
+        // root r0. Peak is at step2: node4 live (2 amps) + scratch r1 + r2
+        // (cached branch operand still needs permute scratch) + out r1
+        // = 10 amps = 160 B.
+        assert_eq!(plan.stem.peak_bytes(), 160);
+        assert_eq!(plan.stem.kept_bytes(), 16); // root r0
+        let root_interval = plan.stem.intervals().iter().find(|iv| iv.node == tree.root()).unwrap();
+        assert_eq!(root_interval.consumed, None);
+        assert_eq!(root_interval.rank, 0);
+    }
+
+    #[test]
+    fn intervals_cover_first_and_last_use() {
+        let tree = chain4_tree();
+        let cls = classify_nodes(&tree, &[], &[]);
+        let plan = analyze_memory(&tree, &cls, &[]);
+        let iv = |node: usize| {
+            plan.branch.intervals().iter().find(|iv| iv.node == node).expect("interval missing")
+        };
+        // Leaves are produced at t0; leaf 0 dies in step 1, leaf 3 in step 3.
+        assert_eq!((iv(0).produced, iv(0).consumed), (0, Some(1)));
+        assert_eq!((iv(3).produced, iv(3).consumed), (0, Some(3)));
+        // node 4 is produced by step 1 and consumed by step 2.
+        assert_eq!((iv(4).produced, iv(4).consumed), (1, Some(2)));
+        // Intervals never overlap in a slot: sort by slot and check.
+        for a in plan.branch.intervals() {
+            for b in plan.branch.intervals() {
+                if a.node != b.node && a.slot == b.slot {
+                    let a_end = a.consumed.unwrap_or(usize::MAX);
+                    let b_end = b.consumed.unwrap_or(usize::MAX);
+                    assert!(
+                        a_end <= b.produced || b_end <= a.produced,
+                        "slot {} double-booked by nodes {} and {}",
+                        a.slot,
+                        a.node,
+                        b.node
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slot_count_equals_live_set_maximum_per_class() {
+        let tree = chain4_tree();
+        for sliced in [vec![], vec![0], vec![1], vec![2], vec![0, 2]] {
+            let cls = classify_nodes(&tree, &sliced, &[3]);
+            let plan = analyze_memory(&tree, &cls, &sliced);
+            for phase in [&plan.branch, &plan.frontier, &plan.stem] {
+                let slots = phase.slot_count_by_rank();
+                for (rank, peak) in phase.peak_live_by_rank() {
+                    assert_eq!(
+                        slots.get(rank),
+                        Some(peak),
+                        "greedy must open exactly peak-live slots per class (sliced {sliced:?})"
+                    );
+                }
+                assert_eq!(slots.values().sum::<usize>(), phase.num_slots());
+                assert!(phase.num_slots() >= phase.max_live_buffers());
+                assert!(phase.arena_bytes() >= phase.peak_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_phase_accounts_override_dependent_work() {
+        let tree = chain4_tree();
+        // Leaf 3 overridable, no slicing: contractions 1,2 are Branch, the
+        // root contraction is Frontier.
+        let cls = classify_nodes(&tree, &[], &[3]);
+        let plan = analyze_memory(&tree, &cls, &[]);
+        assert_eq!(plan.branch.intervals().len(), 5); // leaves 0,1,2 + nodes 4,5
+        assert_eq!(plan.frontier.intervals().len(), 2); // leaf 3 + root
+        assert_eq!(plan.stem.intervals().len(), 0);
+        // Frontier: leaf3 r1 at t0 (2 amps); root step: scratch r1 (node5,
+        // cached) + scratch r1 (leaf3) + out r0 → 2+5 = 7 amps = 112 B.
+        assert_eq!(plan.frontier.peak_bytes(), 112);
+        assert_eq!(plan.frontier.kept_bytes(), 16);
+    }
+
+    #[test]
+    fn bytes_of_rank_is_sixteen_per_amplitude() {
+        assert_eq!(bytes_of_rank(0), 16);
+        assert_eq!(bytes_of_rank(3), 128);
+        assert_eq!(BYTES_PER_AMPLITUDE, 16);
+    }
+}
