@@ -1,0 +1,153 @@
+//! Batched multi-amplitude execution vs a loop of single executions.
+//!
+//! The paper's headline workload evaluates *many* amplitudes of one circuit
+//! (XEB-style batches of bitstrings). A loop of `execute_amplitude` calls
+//! replays the whole slice-dependent stem once per bitstring; the batched
+//! path (`execute_amplitudes`) contracts each subtask's projector-free
+//! StemPure prefix once per slice assignment and replays only the StemMixed
+//! suffix (plus one frontier build) per bitstring. This bench times both
+//! sides at batch sizes B ∈ {1, 8, 64} on the 3x4x10 RQC planned at
+//! `|S| = 4` (16 subtasks) and emits machine-readable results to
+//! `BENCH_amplitude_batch.json` at the workspace root, one record per batch
+//! size with wall times, flop bills and the measured speedup.
+//!
+//! Both sides run on the same compiled plan with warm branch caches and
+//! buffer pools, so the comparison prices exactly what batching changes:
+//! how often the shared prefix is computed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qtn_circuit::{OutputSpec, RqcConfig};
+use qtnsim_core::{CompiledCircuit, Engine, ExecutorConfig, PlannerConfig};
+use std::time::Instant;
+
+/// Batch sizes swept by the bench.
+const BATCH_SIZES: [usize; 3] = [1, 8, 64];
+/// Timed repetitions per measurement (the median is reported).
+const REPS: usize = 5;
+
+fn bitstrings(n: usize, count: usize) -> Vec<Vec<u8>> {
+    // Deterministic spread over the bitstring space (golden-ratio stride).
+    (0..count)
+        .map(|k| {
+            let pattern = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - n.min(63));
+            (0..n).map(|q| ((pattern >> (n - 1 - q)) & 1) as u8).collect()
+        })
+        .collect()
+}
+
+fn compile(planner: &PlannerConfig) -> (CompiledCircuit, usize) {
+    let circuit = RqcConfig::small(3, 4, 10, 5).build();
+    let n = circuit.num_qubits();
+    let engine = Engine::with_configs(
+        planner.clone(),
+        ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true, pool: true },
+    );
+    let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).expect("compile");
+    assert_eq!(compiled.plan().slicing.len(), 4, "the bench regime is |S| = 4 (16 subtasks)");
+    (compiled, n)
+}
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_amplitude_batch(c: &mut Criterion) {
+    let planner = PlannerConfig { target_rank: 8, ..Default::default() };
+    let (compiled, n) = compile(&planner);
+    // Warm the branch cache, the memoized stem compile and the buffer pools
+    // so both sides price the amortized steady state.
+    compiled.execute_amplitude(&vec![0; n]).expect("warmup");
+
+    let mut records = Vec::new();
+    for batch_size in BATCH_SIZES {
+        let bits = bitstrings(n, batch_size);
+        let batch: Vec<&[u8]> = bits.iter().map(Vec::as_slice).collect();
+
+        let batched_seconds = median_seconds(
+            (0..REPS)
+                .map(|_| {
+                    let start = Instant::now();
+                    compiled.execute_amplitudes(&batch).expect("batched execute");
+                    start.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let sequential_seconds = median_seconds(
+            (0..REPS)
+                .map(|_| {
+                    let start = Instant::now();
+                    for bs in &bits {
+                        compiled.execute_amplitude(bs).expect("single execute");
+                    }
+                    start.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let (_, report) = compiled.execute_amplitudes(&batch).expect("stats probe");
+        let stats = &report.stats;
+        let speedup = sequential_seconds / batched_seconds;
+        eprintln!(
+            "amplitude_batch/B{batch_size}: batched={:.3}ms sequential={:.3}ms speedup={speedup:.2}x \
+             (pure {} flops run once per subtask, {} flops reused)",
+            batched_seconds * 1e3,
+            sequential_seconds * 1e3,
+            stats.stem_pure_flops,
+            stats.stem_pure_flops_reused,
+        );
+        records.push(format!(
+            concat!(
+                "  {{\"batch_size\": {}, \"sliced_edges\": 4, \"subtasks\": {}, ",
+                "\"batched_seconds\": {:.6}, \"sequential_seconds\": {:.6}, ",
+                "\"speedup\": {:.3}, \"batched_flops\": {}, ",
+                "\"stem_pure_flops\": {}, \"stem_pure_flops_reused\": {}, ",
+                "\"peak_bytes_in_flight\": {}, \"predicted_peak_bytes\": {}}}"
+            ),
+            batch_size,
+            stats.subtasks_run,
+            batched_seconds,
+            sequential_seconds,
+            speedup,
+            stats.flops,
+            stats.stem_pure_flops,
+            stats.stem_pure_flops_reused,
+            stats.peak_bytes_in_flight,
+            stats.predicted_peak_bytes,
+        ));
+        assert_eq!(
+            stats.peak_bytes_in_flight, stats.predicted_peak_bytes,
+            "batched pooled peak must match the lifetime prediction"
+        );
+    }
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_amplitude_batch.json");
+    std::fs::write(path, json).expect("write BENCH_amplitude_batch.json");
+
+    // Criterion harness over the headline configuration, so the comparison
+    // also lands in the standard bench report.
+    let mut group = c.benchmark_group("amplitude_batch");
+    group.sample_size(10);
+    for batch_size in BATCH_SIZES {
+        let bits = bitstrings(n, batch_size);
+        let batch: Vec<&[u8]> = bits.iter().map(Vec::as_slice).collect();
+        group.throughput(Throughput::Elements(batch_size as u64));
+        group.bench_with_input(BenchmarkId::new("batched", batch_size), &batch, |b, batch| {
+            b.iter(|| compiled.execute_amplitudes(batch).expect("batched execute"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("loop_of_executes", batch_size),
+            &bits,
+            |b, bits| {
+                b.iter(|| {
+                    bits.iter()
+                        .map(|bs| compiled.execute_amplitude(bs).expect("single execute").0)
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amplitude_batch);
+criterion_main!(benches);

@@ -388,6 +388,28 @@ impl Engine {
             plan_cache_hit: cache_hit,
         })
     }
+
+    /// Compile `circuit` for the open qubits (riding the plan cache) and
+    /// draw `count` correlated samples with the remaining qubits projected
+    /// onto `fixed` — the one-call sampling entry the [`crate::Simulator`]
+    /// shim rides.
+    ///
+    /// All `2^|open|` amplitudes come from **one** batched execution of the
+    /// compiled plan ([`CompiledCircuit::execute_batch`]): the stem sweep
+    /// runs once for the whole distribution, never once per sampled
+    /// bitstring. Sampling is deterministic in `seed`.
+    pub fn sample_bitstrings(
+        &self,
+        circuit: &Circuit,
+        fixed: &[u8],
+        open: &[usize],
+        count: usize,
+        seed: u64,
+    ) -> Result<(Vec<Vec<u8>>, ExecutionReport), Error> {
+        let spec = OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() };
+        let compiled = self.compile(circuit, &spec)?;
+        compiled.sample(fixed, count, seed)
+    }
 }
 
 /// A circuit compiled for one output shape: a [`SimulationPlan`] plus cheap
@@ -498,6 +520,62 @@ impl CompiledCircuit {
         }
         let (result, report) = self.execute_rebound(bits)?;
         Ok((result.scalar_value(), report))
+    }
+
+    /// Compute the amplitudes ⟨bits|C|0…0⟩ of a whole batch of bitstrings
+    /// in **one** execution, amortizing the slice sweep across the batch.
+    /// Requires an [`OutputShape::Amplitude`] compilation.
+    ///
+    /// A loop of [`execute_amplitude`](Self::execute_amplitude) calls
+    /// replays the entire slice-dependent stem once per bitstring. This
+    /// method contracts each subtask's projector-independent `StemPure`
+    /// prefix **once per slice assignment** and replays only the
+    /// `StemMixed` suffix (plus one frontier build) per bitstring — the
+    /// XEB-style many-amplitudes workload of the paper. The returned
+    /// amplitudes are **bit-identical** to that loop, in the input order;
+    /// [`ExecutionStats::stem_pure_flops_reused`] and
+    /// [`ExecutionStats::amplitudes_in_batch`] in the report quantify the
+    /// amortization.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    /// let compiled = Engine::new().compile(&circuit, &OutputSpec::Amplitude(vec![0, 0]))?;
+    /// let batch: Vec<&[u8]> = vec![&[0, 0], &[0, 1], &[1, 1]];
+    /// let (amps, report) = compiled.execute_amplitudes(&batch)?;
+    /// assert_eq!(amps.len(), 3);
+    /// assert!(amps[1].abs() < 1e-12); // |01⟩ has no Bell-state amplitude
+    /// assert_eq!(report.stats.amplitudes_in_batch, 3);
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
+    pub fn execute_amplitudes(
+        &self,
+        bitstrings: &[&[u8]],
+    ) -> Result<(Vec<Complex64>, ExecutionReport), Error> {
+        if self.shape != OutputShape::Amplitude {
+            return Err(Error::OutputShapeMismatch {
+                compiled: self.shape.name(),
+                requested: "amplitude",
+            });
+        }
+        for bits in bitstrings {
+            self.validate_bits(bits)?;
+        }
+        let branch_cache_hit = self.plan.branch_cache_built();
+        let (results, stats) = crate::executor::execute_amplitudes_on_pool(
+            &self.pool,
+            &self.plan,
+            bitstrings,
+            &self.executor,
+        )?;
+        let amplitudes = results.iter().map(DenseTensor::scalar_value).collect();
+        Ok((
+            amplitudes,
+            ExecutionReport { stats, plan_cache_hit: self.plan_cache_hit, branch_cache_hit },
+        ))
     }
 
     /// Compute the tensor of amplitudes over the compiled open qubits with
@@ -775,6 +853,55 @@ mod tests {
         engine.compile(&c1, &spec(&c1)).unwrap(); // miss: was evicted
         assert_eq!(engine.plans_built(), 4);
         assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn execute_amplitudes_matches_singles_and_validates() {
+        let circuit = RqcConfig::small(3, 3, 8, 13).build();
+        let n = circuit.num_qubits();
+        let engine =
+            Engine::new().with_planner(PlannerConfig { target_rank: 7, ..Default::default() });
+        let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+        let patterns: Vec<Vec<u8>> =
+            (0..5usize).map(|k| (0..n).map(|q| ((k >> (q % 3)) & 1) as u8).collect()).collect();
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let (amps, report) = compiled.execute_amplitudes(&batch).unwrap();
+        assert_eq!(amps.len(), patterns.len());
+        assert_eq!(report.stats.amplitudes_in_batch, patterns.len() as u64);
+        let sv = StateVector::simulate(&circuit);
+        for (bits, amp) in patterns.iter().zip(amps.iter()) {
+            assert!((*amp - sv.amplitude(bits)).abs() < 1e-8, "mismatch for {bits:?}");
+            let (single, _) = compiled.execute_amplitude(bits).unwrap();
+            assert_eq!(single, *amp, "batched amplitude must be bit-identical");
+        }
+        // A bad bitstring anywhere in the batch rejects the whole call.
+        let bad: Vec<&[u8]> = vec![&patterns[0], &[9; 1]];
+        assert!(matches!(
+            compiled.execute_amplitudes(&bad).unwrap_err(),
+            Error::BitstringLength { .. }
+        ));
+        // Shape misuse is typed.
+        let open = engine
+            .compile(&circuit, &OutputSpec::Open { fixed: vec![0; n], open: vec![0] })
+            .unwrap();
+        assert!(matches!(
+            open.execute_amplitudes(&batch).unwrap_err(),
+            Error::OutputShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn engine_sample_bitstrings_rides_the_plan_cache() {
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::H, 0);
+        let engine = Engine::new();
+        let (samples, report) = engine.sample_bitstrings(&circuit, &[0, 0], &[0], 500, 3).unwrap();
+        assert_eq!(samples.len(), 500);
+        assert!(!report.plan_cache_hit);
+        let (again, report) = engine.sample_bitstrings(&circuit, &[0, 0], &[0], 500, 3).unwrap();
+        assert_eq!(samples, again, "sampling is deterministic in the seed");
+        assert!(report.plan_cache_hit, "repeated sampling must reuse the plan");
+        assert_eq!(engine.plans_built(), 1);
     }
 
     #[test]

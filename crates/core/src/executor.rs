@@ -134,9 +134,29 @@ pub struct ExecutionStats {
     pub subtasks_total: usize,
     /// Real floating point operations executed by this call.
     pub flops: u64,
-    /// Portion of `flops` spent replaying Stem-class contractions across
-    /// the slice subtasks.
+    /// Portion of `flops` spent replaying stem-class contractions across
+    /// the slice subtasks (both StemPure and StemMixed).
     pub stem_flops: u64,
+    /// Portion of `stem_flops` spent on StemPure contractions — the
+    /// slice-dependent but projector-independent prefix. In a batched
+    /// execution this runs **once per slice assignment** regardless of how
+    /// many bitstrings the batch holds; in a single execution it is simply
+    /// the pure share of the per-subtask replay. Zero when reuse is off
+    /// (the full replay does not classify its contractions).
+    pub stem_pure_flops: u64,
+    /// Floating point operations a loop of single executions would have
+    /// spent re-running the StemPure prefix but this call avoided by
+    /// batching: `(amplitudes_in_batch − 1) ×` the executed
+    /// [`stem_pure_flops`](Self::stem_pure_flops). Zero outside batched
+    /// execution.
+    pub stem_pure_flops_reused: u64,
+    /// StemPure pairwise contractions executed by this call. In a batched
+    /// execution this equals the StemPure schedule length times the number
+    /// of subtasks run — independent of the batch size.
+    pub stem_pure_contractions: u64,
+    /// Number of amplitudes this execution produced: the batch size of a
+    /// batched multi-amplitude execution, 1 for single executions.
+    pub amplitudes_in_batch: u64,
     /// Portion of `flops` spent contracting the per-execution frontier
     /// (output-projector-dependent, slice-invariant nodes) — paid once per
     /// execution, not per subtask.
@@ -360,6 +380,10 @@ struct StemLeafExec {
     fixes: Vec<(usize, usize)>,
     /// Elements of the sliced leaf tensor.
     len: usize,
+    /// Whether the leaf is StemMixed-class (an overridable projector that
+    /// also carries a sliced edge): re-sliced per bitstring in a batched
+    /// execution. StemPure leaves are sliced once per subtask.
+    mixed: bool,
 }
 
 /// One stem contraction, fully compiled: operand/output tree nodes plus the
@@ -372,6 +396,10 @@ struct StemStepExec {
     right: usize,
     out: usize,
     kernel: ContractionKernel,
+    /// Whether the contraction is StemMixed-class (projector-dependent):
+    /// replayed per bitstring in a batched execution, while StemPure steps
+    /// (`mixed == false`) run once per subtask for the whole batch.
+    mixed: bool,
 }
 
 /// The compiled form of the per-subtask stem replay: slicing recipes for
@@ -433,7 +461,7 @@ fn build_stem_exec(
     let cls = &plan.classification;
     let sliced = &plan.slicing.sliced;
     let num_nodes = plan.tree.nodes().len();
-    let root_is_stem = cls.class(plan.tree.root()) == NodeClass::Stem;
+    let root_is_stem = cls.class(plan.tree.root()).is_stem();
     let mut node_indices: Vec<Option<IndexSet>> = vec![None; num_nodes];
     let mut leaves = Vec::new();
     let mut steps = Vec::with_capacity(cls.stem_schedule().len());
@@ -442,7 +470,7 @@ fn build_stem_exec(
     }
 
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
-        if cls.class(node_id) != NodeClass::Stem {
+        if !cls.class(node_id).is_stem() {
             continue;
         }
         if let Some(vertex) = node.leaf_vertex {
@@ -455,7 +483,13 @@ fn build_stem_exec(
             }
             let kept: Vec<IndexId> = src.indices().iter().filter(|a| !sliced.contains(a)).collect();
             let indices = IndexSet::new(kept);
-            leaves.push(StemLeafExec { node: node_id, vertex, fixes, len: indices.len() });
+            leaves.push(StemLeafExec {
+                node: node_id,
+                vertex,
+                fixes,
+                len: indices.len(),
+                mixed: cls.class(node_id) == NodeClass::StemMixed,
+            });
             node_indices[node_id] = Some(indices);
         }
     }
@@ -466,7 +500,13 @@ fn build_stem_exec(
             operand_indices(&node_indices, seeds, cache, r)?,
         );
         node_indices[out] = Some(kernel.output().clone());
-        steps.push(StemStepExec { left: l, right: r, out, kernel });
+        steps.push(StemStepExec {
+            left: l,
+            right: r,
+            out,
+            kernel,
+            mixed: cls.class(out) == NodeClass::StemMixed,
+        });
     }
     Ok(StemExec { leaves, steps, node_indices, root_is_stem })
 }
@@ -520,7 +560,8 @@ fn stem_operand_data<'a>(
 /// slot counts are exact. Bit-identical to [`run_subtask_stem`].
 ///
 /// Returns the root tensor (whose data buffer the caller must release back
-/// to the pool after merging) and the replayed flop count.
+/// to the pool after merging) and the replayed flop count, split as
+/// `(root, total_flops, pure_flops)`.
 fn run_subtask_stem_pooled(
     plan: &SimulationPlan,
     exec: &StemExec,
@@ -528,10 +569,11 @@ fn run_subtask_stem_pooled(
     overrides: &LeafOverrides,
     assignment: usize,
     ws: &mut StemWorkspace,
-) -> Result<(DenseTensor<Complex64>, u64), Error> {
+) -> Result<(DenseTensor<Complex64>, u64, u64), Error> {
     let cache = cache_of(plan)?;
     let StemWorkspace { pool, counters, slots, fix_buf, root_indices } = ws;
     let mut flops = 0u64;
+    let mut pure_flops = 0u64;
 
     // Materialise the stem leaves: one strided gather per leaf, straight
     // from the (overridden) source tensor into a pooled buffer.
@@ -557,6 +599,9 @@ fn run_subtask_stem_pooled(
         let mut out = pool.acquire(step.kernel.output().len(), counters);
         step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
         flops += step.kernel.flops();
+        if !step.mixed {
+            pure_flops += step.kernel.flops();
+        }
         pool.release(left_scratch, counters);
         pool.release(right_scratch, counters);
         if let Some(buf) = left_owned {
@@ -580,7 +625,7 @@ fn run_subtask_stem_pooled(
             .clone()
             .ok_or_else(|| Error::Internal("root index set missing from stem compile".into()))?,
     };
-    Ok((DenseTensor::from_data(indices, buf), flops))
+    Ok((DenseTensor::from_data(indices, buf), flops, pure_flops))
 }
 
 /// The plan's built branch cache (pooled replay runs strictly after
@@ -855,7 +900,7 @@ pub fn execute_on_pool(
     // amortized share of the one-off builds.
     let sweep_start = Instant::now();
 
-    type WorkerOutcome = (DenseTensor<Complex64>, u64, PoolCounters);
+    type WorkerOutcome = (DenseTensor<Complex64>, u64, u64, PoolCounters);
     let (tx, rx) = mpsc::channel::<(usize, Result<WorkerOutcome, Error>)>();
     for worker in 0..workers {
         let tx = tx.clone();
@@ -881,16 +926,18 @@ pub fn execute_on_pool(
             let outcome = (|| {
                 let mut partial = DenseTensor::<Complex64>::zeros(output_indices);
                 let mut flops = 0u64;
+                let mut pure_flops = 0u64;
                 // Static striding: worker w owns subtasks w, w+W, w+2W, …
                 let mut assignment = worker;
                 while assignment < run_subtasks {
                     match (&stem_exec, &seeds) {
                         (Some(exec), Some(seeds)) => {
                             let ws = ws.as_mut().expect("workspace exists with stem_exec");
-                            let (result, subtask_flops) = run_subtask_stem_pooled(
+                            let (result, subtask_flops, subtask_pure) = run_subtask_stem_pooled(
                                 &plan, exec, seeds, &overrides, assignment, ws,
                             )?;
                             flops += subtask_flops;
+                            pure_flops += subtask_pure;
                             merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
                             // The root tensor's buffer goes back to the
                             // pool; its index set is recycled by the next
@@ -900,9 +947,10 @@ pub fn execute_on_pool(
                             ws.root_indices = Some(indices);
                         }
                         (None, Some(seeds)) => {
-                            let (result, subtask_flops) =
+                            let (result, subtask_flops, subtask_pure) =
                                 run_subtask_stem(&plan, seeds, &overrides, &sliced, assignment)?;
                             flops += subtask_flops;
+                            pure_flops += subtask_pure;
                             merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
                         }
                         (_, None) => {
@@ -914,7 +962,7 @@ pub fn execute_on_pool(
                     }
                     assignment += workers;
                 }
-                Ok((partial, flops))
+                Ok((partial, flops, pure_flops))
             })();
             // Return the pool regardless of the outcome: buffers still
             // sitting in the slot table of a failed replay are drained
@@ -929,7 +977,10 @@ pub fn execute_on_pool(
                 counters = ws.counters;
                 plan.stem_pools.checkin(worker, ws.pool);
             }
-            let _ = tx.send((worker, outcome.map(|(partial, flops)| (partial, flops, counters))));
+            let _ = tx.send((
+                worker,
+                outcome.map(|(partial, flops, pure)| (partial, flops, pure, counters)),
+            ));
         }));
     }
     drop(tx);
@@ -944,15 +995,16 @@ pub fn execute_on_pool(
         partials[worker] = Some(outcome?);
     }
     let mut partials = partials.into_iter();
-    let (mut result, mut stem_flops, mut pool_counters) = partials
+    let (mut result, mut stem_flops, mut stem_pure_flops, mut pool_counters) = partials
         .next()
         .flatten()
         .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
     for slot in partials {
-        let (partial, worker_flops, worker_counters) =
+        let (partial, worker_flops, worker_pure, worker_counters) =
             slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
         result.accumulate(&partial);
         stem_flops += worker_flops;
+        stem_pure_flops += worker_pure;
         pool_counters.merge(&worker_counters);
     }
     let wall = start.elapsed().as_secs_f64();
@@ -966,6 +1018,8 @@ pub fn execute_on_pool(
         subtasks_total: total_subtasks,
         flops: stem_flops,
         stem_flops,
+        stem_pure_flops,
+        amplitudes_in_batch: 1,
         buffers_allocated: pool_counters.allocated,
         buffers_reused: pool_counters.reused,
         peak_bytes_in_flight: pool_counters.peak_in_flight_bytes,
@@ -985,6 +1039,8 @@ pub fn execute_on_pool(
         stats.branch_flops = state.branch_flops;
         stats.branch_contractions = state.branch_contractions;
         stats.frontier_contractions = state.frontier_contractions;
+        stats.stem_pure_contractions =
+            plan.classification.stem_pure_schedule().len() as u64 * run_subtasks as u64;
         stats.flops = stem_flops + state.frontier_flops + state.branch_flops;
         stats.branch_flops_reused = per_subtask_extra
             .saturating_mul(run_subtasks as u64)
@@ -992,6 +1048,863 @@ pub fn execute_on_pool(
             .saturating_sub(state.branch_flops);
     }
     Ok((result, stats))
+}
+
+// ---------------------------------------------------------------------------
+// Batched multi-amplitude execution
+// ---------------------------------------------------------------------------
+
+/// One bitstring's frontier seeds: the slice-invariant tensors its stem
+/// replay reads, keyed by tree-node id.
+type SeedMap = Arc<HashMap<usize, DenseTensor<Complex64>>>;
+
+/// Accounting of the cache phases of one batched execution: one
+/// [`ReuseState`] worth of per-bitstring state plus the shared plan-level
+/// caches.
+struct BatchReuseState {
+    /// Per-bitstring frontier seeds, index-aligned with the overrides batch.
+    seeds: Vec<SeedMap>,
+    /// Compiled stem replay shared by every bitstring (rebinding preserves
+    /// every leaf's index set, so one compile serves the whole batch).
+    stem_exec: Option<Arc<StemExec>>,
+    branch_flops_total: u64,
+    branch_flops: u64,
+    branch_contractions: u64,
+    /// Frontier work summed over the batch (each bitstring absorbs its own
+    /// projectors once).
+    frontier_flops: u64,
+    frontier_contractions: u64,
+}
+
+/// Pack the bits of `bits` selected by `mask` into a dedup key: bit `q` of
+/// the key is `bits[q]` when qubit `q` is in the mask, 0 otherwise. Two
+/// bitstrings with equal keys are indistinguishable to any tensor whose
+/// subtree touches only the masked qubits.
+fn frontier_key(bits: &[u8], mask: u128) -> u128 {
+    let mut key = 0u128;
+    for (q, &bit) in bits.iter().enumerate() {
+        if (mask >> q) & 1 == 1 && bit & 1 == 1 {
+            key |= 1 << q;
+        }
+    }
+    key
+}
+
+/// Build every bitstring's frontier seeds for a batch, **deduplicating
+/// shared subtrees**: a Frontier-class tensor depends only on the output
+/// bits of the projector qubits inside its own subtree, so with a batch of
+/// B bitstrings each frontier contraction has at most
+/// `min(B, 2^|qubits in subtree|)` distinct values — usually far fewer than
+/// B. Every frontier contraction is therefore performed once per *distinct
+/// key* instead of once per bitstring; the per-bitstring seed maps then
+/// clone the (small) keep-root tensors they select. Deduplication reuses
+/// tensors computed by the exact same pairwise contractions a per-bitstring
+/// build would run, so results stay bit-identical.
+///
+/// Returns the per-bitstring seed maps plus the executed frontier
+/// `(flops, contractions)`.
+fn build_frontiers_batch(
+    plan: &SimulationPlan,
+    cache: &BranchCache,
+    bitstrings: &[Vec<u8>],
+    overrides_batch: &[Arc<LeafOverrides>],
+) -> Result<(Vec<SeedMap>, u64, u64), Error> {
+    let cls = &plan.classification;
+    let num_nodes = plan.tree.nodes().len();
+    let num_qubits = plan.build.num_qubits;
+
+    // Projector-qubit mask of every node's subtree. Networks beyond 128
+    // qubits fall back to per-bitstring builds (no dedup key fits).
+    if num_qubits > 128 {
+        let mut seeds = Vec::with_capacity(overrides_batch.len());
+        let mut flops = 0;
+        let mut contractions = 0;
+        for overrides in overrides_batch {
+            let mut frontier = build_frontier(plan, cache, overrides)?;
+            let mut map = HashMap::new();
+            for &id in cls.stem_seeds() {
+                if let Some(t) = frontier.tensors.remove(&id) {
+                    map.insert(id, t);
+                }
+            }
+            flops += frontier.flops;
+            contractions += frontier.contractions;
+            seeds.push(Arc::new(map));
+        }
+        return Ok((seeds, flops, contractions));
+    }
+    let qubit_of: HashMap<usize, usize> =
+        plan.build.projector_leaves.iter().map(|&(q, v)| (v, q)).collect();
+    let mut mask = vec![0u128; num_nodes];
+    for (id, node) in plan.tree.nodes().iter().enumerate() {
+        if let Some(vertex) = node.leaf_vertex {
+            if let Some(&q) = qubit_of.get(&vertex) {
+                mask[id] = 1 << q;
+            }
+        }
+    }
+    for &(l, r, out) in &plan.tree.schedule() {
+        mask[out] = mask[l] | mask[r];
+    }
+
+    // Per-node value tables keyed by the masked bits. Leaves read the
+    // per-bitstring overrides; internal nodes contract once per distinct
+    // key, in schedule order (children before parents, so child tables are
+    // complete when the parent needs them).
+    let mut values: Vec<HashMap<u128, DenseTensor<Complex64>>> = vec![HashMap::new(); num_nodes];
+    for (node_id, node) in plan.tree.nodes().iter().enumerate() {
+        if cls.class(node_id) != NodeClass::Frontier {
+            continue;
+        }
+        if let Some(vertex) = node.leaf_vertex {
+            for (bits, overrides) in bitstrings.iter().zip(overrides_batch.iter()) {
+                let key = frontier_key(bits, mask[node_id]);
+                values[node_id].entry(key).or_insert_with(|| {
+                    overrides.get(&vertex).unwrap_or(&plan.build.nodes[vertex].data).clone()
+                });
+            }
+        }
+    }
+    let mut flops = 0u64;
+    let mut contractions = 0u64;
+    for &(l, r, out) in cls.frontier_schedule() {
+        for bits in bitstrings {
+            let key = frontier_key(bits, mask[out]);
+            if values[out].contains_key(&key) {
+                continue;
+            }
+            let left_key = frontier_key(bits, mask[l]);
+            let right_key = frontier_key(bits, mask[r]);
+            let (a, b): (&DenseTensor<Complex64>, &DenseTensor<Complex64>) =
+                match (cls.class(l) == NodeClass::Frontier, cls.class(r) == NodeClass::Frontier) {
+                    (true, true) => (&values[l][&left_key], &values[r][&right_key]),
+                    (true, false) => (
+                        &values[l][&left_key],
+                        cache.tensor(r).ok_or_else(|| {
+                            Error::Internal(format!("branch operand {r} missing from cache"))
+                        })?,
+                    ),
+                    (false, true) => (
+                        cache.tensor(l).ok_or_else(|| {
+                            Error::Internal(format!("branch operand {l} missing from cache"))
+                        })?,
+                        &values[r][&right_key],
+                    ),
+                    (false, false) => {
+                        return Err(Error::Internal(format!(
+                            "frontier contraction {out} has no frontier operand"
+                        )))
+                    }
+                };
+            let spec = ContractionSpec::new(a.indices(), b.indices());
+            flops += spec.flops();
+            contractions += 1;
+            let result = contract_pair(a, b);
+            values[out].insert(key, result);
+        }
+        // Children feed exactly one parent: their tables are dead now
+        // unless they are keep roots the stem replay reads directly.
+        for child in [l, r] {
+            if !cls.stem_seeds().contains(&child) {
+                values[child] = HashMap::new();
+            }
+        }
+    }
+
+    let mut seeds = Vec::with_capacity(bitstrings.len());
+    for bits in bitstrings {
+        let mut map = HashMap::with_capacity(cls.frontier_keep().len());
+        for &id in cls.stem_seeds() {
+            if cls.class(id) == NodeClass::Frontier {
+                let key = frontier_key(bits, mask[id]);
+                let t = values[id]
+                    .get(&key)
+                    .ok_or_else(|| Error::Internal(format!("frontier root {id} missing")))?;
+                map.insert(id, t.clone());
+            } else if cache.tensor(id).is_none() {
+                return Err(Error::Internal(format!("stem seed {id} missing")));
+            }
+        }
+        seeds.push(Arc::new(map));
+    }
+    Ok((seeds, flops, contractions))
+}
+
+/// Run the reuse preparation for a whole batch: the branch cache is built
+/// (at most) once through the plan's `OnceLock`, the batched frontier
+/// builder computes every bitstring's seeds with cross-bitstring subtree
+/// deduplication, and the pooled stem compile is memoized exactly as
+/// across executions.
+fn prepare_reuse_batch(
+    plan: &SimulationPlan,
+    bitstrings: &[Vec<u8>],
+    overrides_batch: &[Arc<LeafOverrides>],
+    pooled: bool,
+) -> Result<BatchReuseState, Error> {
+    // Branch cache: same lazy plan-lifetime build as the single path.
+    let mut built_here = false;
+    let cache = plan
+        .branch_cache
+        .get_or_init(|| {
+            built_here = true;
+            build_branch_cache(plan)
+        })
+        .as_ref()
+        .map_err(Clone::clone)?;
+
+    let (seeds, frontier_flops, frontier_contractions) =
+        build_frontiers_batch(plan, cache, bitstrings, overrides_batch)?;
+
+    let stem_exec = if pooled {
+        // Rebinding preserves every leaf's index set, so the compiled stem
+        // is plan-invariant and memoized on the plan (see `prepare_reuse`).
+        let exec = plan
+            .stem_exec
+            .get_or_init(|| {
+                build_stem_exec(plan, cache, &seeds[0], &overrides_batch[0]).map(Arc::new)
+            })
+            .as_ref()
+            .map_err(Clone::clone)?;
+        Some(Arc::clone(exec))
+    } else {
+        None
+    };
+    Ok(BatchReuseState {
+        seeds,
+        stem_exec,
+        branch_flops_total: cache.flops,
+        branch_flops: if built_here { cache.flops } else { 0 },
+        branch_contractions: if built_here { cache.contractions } else { 0 },
+        frontier_flops,
+        frontier_contractions,
+    })
+}
+
+/// Execute the StemPure prefix of one slice assignment on the worker's
+/// buffer pool: pure leaves are gathered into pooled buffers, pure
+/// contractions replay through their kernels, and buffers consumed by a
+/// pure contraction are released immediately. What remains in the slot
+/// table afterwards is exactly the classification's StemPure keep set
+/// (plus the root when the whole stem is pure) — held there, still checked
+/// out of the pool, for every bitstring of the batch to read. Returns the
+/// replayed (pure) flop count.
+fn run_pure_prefix_pooled(
+    plan: &SimulationPlan,
+    exec: &StemExec,
+    assignment: usize,
+    ws: &mut StemWorkspace,
+) -> Result<u64, Error> {
+    let cache = cache_of(plan)?;
+    let no_seeds = HashMap::new();
+    let StemWorkspace { pool, counters, slots, fix_buf, .. } = ws;
+    let mut flops = 0u64;
+
+    // StemPure leaves carry a sliced edge but are never overridable, so
+    // they always read the plan's own leaf data.
+    for leaf in exec.leaves.iter().filter(|l| !l.mixed) {
+        let src = &plan.build.nodes[leaf.vertex].data;
+        fix_buf.clear();
+        fix_buf.extend(
+            leaf.fixes.iter().map(|&(axis, bit_pos)| (axis, ((assignment >> bit_pos) & 1) as u8)),
+        );
+        let mut buf = pool.acquire(leaf.len, counters);
+        src.slice_into(fix_buf, &mut buf);
+        slots[leaf.node] = Some(buf);
+    }
+
+    for step in exec.steps.iter().filter(|s| !s.mixed) {
+        // A StemPure contraction's operands are StemPure (owned by the slot
+        // table and consumed here — a pure node consumed by a *mixed* step
+        // never shows up as a pure-step operand) or Branch (borrowed from
+        // the plan cache).
+        let left_owned = slots[step.left].take();
+        let right_owned = slots[step.right].take();
+        let left = stem_operand_data(&left_owned, &no_seeds, cache, step.left)?;
+        let right = stem_operand_data(&right_owned, &no_seeds, cache, step.right)?;
+        let mut left_scratch = pool.acquire(left.len(), counters);
+        let mut right_scratch = pool.acquire(right.len(), counters);
+        let mut out = pool.acquire(step.kernel.output().len(), counters);
+        step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
+        flops += step.kernel.flops();
+        pool.release(left_scratch, counters);
+        pool.release(right_scratch, counters);
+        if let Some(buf) = left_owned {
+            pool.release(buf, counters);
+        }
+        if let Some(buf) = right_owned {
+            pool.release(buf, counters);
+        }
+        slots[step.out] = Some(out);
+    }
+    Ok(flops)
+}
+
+/// Execute one bitstring's StemMixed suffix of one slice assignment on the
+/// worker's buffer pool, on top of the StemPure keep set the pure prefix
+/// left in the slot table. Mixed-owned buffers (projector leaves and mixed
+/// intermediates) are pooled and consumed as usual; StemPure keeps are
+/// *borrowed* from the slot table — never taken, never released — so the
+/// next bitstring reads them again; frontier seeds and branch-cache tensors
+/// are borrowed as in the single-execution replay. Returns the root tensor
+/// (whose buffer the caller releases after merging) and the mixed flop
+/// count.
+fn run_mixed_suffix_pooled(
+    plan: &SimulationPlan,
+    exec: &StemExec,
+    seeds: &HashMap<usize, DenseTensor<Complex64>>,
+    overrides: &LeafOverrides,
+    assignment: usize,
+    ws: &mut StemWorkspace,
+) -> Result<(DenseTensor<Complex64>, u64), Error> {
+    let cache = cache_of(plan)?;
+    let cls = &plan.classification;
+    let StemWorkspace { pool, counters, slots, fix_buf, root_indices } = ws;
+    let mut flops = 0u64;
+
+    for leaf in exec.leaves.iter().filter(|l| l.mixed) {
+        let src = overrides.get(&leaf.vertex).unwrap_or(&plan.build.nodes[leaf.vertex].data);
+        fix_buf.clear();
+        fix_buf.extend(
+            leaf.fixes.iter().map(|&(axis, bit_pos)| (axis, ((assignment >> bit_pos) & 1) as u8)),
+        );
+        let mut buf = pool.acquire(leaf.len, counters);
+        src.slice_into(fix_buf, &mut buf);
+        slots[leaf.node] = Some(buf);
+    }
+
+    for step in exec.steps.iter().filter(|s| s.mixed) {
+        // Only mixed-owned operands are consumed; a StemPure operand stays
+        // in its slot (it is this subtask's shared prefix).
+        let left_owned = if cls.class(step.left) == NodeClass::StemMixed {
+            slots[step.left].take()
+        } else {
+            None
+        };
+        let right_owned = if cls.class(step.right) == NodeClass::StemMixed {
+            slots[step.right].take()
+        } else {
+            None
+        };
+        let left = if let Some(buf) = left_owned.as_deref() {
+            buf
+        } else if let Some(buf) = slots[step.left].as_deref() {
+            buf
+        } else {
+            cached_tensor(seeds, cache, step.left).map(DenseTensor::data).ok_or_else(|| {
+                Error::Internal(format!("operand {} missing from slots and caches", step.left))
+            })?
+        };
+        let right = if let Some(buf) = right_owned.as_deref() {
+            buf
+        } else if let Some(buf) = slots[step.right].as_deref() {
+            buf
+        } else {
+            cached_tensor(seeds, cache, step.right).map(DenseTensor::data).ok_or_else(|| {
+                Error::Internal(format!("operand {} missing from slots and caches", step.right))
+            })?
+        };
+        let mut left_scratch = pool.acquire(left.len(), counters);
+        let mut right_scratch = pool.acquire(right.len(), counters);
+        let mut out = pool.acquire(step.kernel.output().len(), counters);
+        step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
+        flops += step.kernel.flops();
+        pool.release(left_scratch, counters);
+        pool.release(right_scratch, counters);
+        if let Some(buf) = left_owned {
+            pool.release(buf, counters);
+        }
+        if let Some(buf) = right_owned {
+            pool.release(buf, counters);
+        }
+        slots[step.out] = Some(out);
+    }
+
+    let root = plan.tree.root();
+    let buf = slots[root]
+        .take()
+        .ok_or_else(|| Error::Internal("root tensor missing after mixed suffix".into()))?;
+    let indices = match root_indices.take() {
+        Some(indices) => indices,
+        None => exec.node_indices[root]
+            .clone()
+            .ok_or_else(|| Error::Internal("root index set missing from stem compile".into()))?,
+    };
+    Ok((DenseTensor::from_data(indices, buf), flops))
+}
+
+/// The slot table an unpooled StemPure prefix leaves behind: the StemPure
+/// keep set (plus the root when the whole stem is pure), by tree-node id.
+type PureSlots = Vec<Option<DenseTensor<Complex64>>>;
+
+/// Unpooled StemPure prefix: materialise the pure leaves for one slice
+/// assignment and replay the pure schedule with plain allocations. Returns
+/// the slot table (whose remaining entries are the StemPure keep set, plus
+/// the root when the whole stem is pure) and the pure flop count.
+fn run_pure_prefix(
+    plan: &SimulationPlan,
+    sliced: &[IndexId],
+    assignment: usize,
+) -> Result<(PureSlots, u64), Error> {
+    let cls = &plan.classification;
+    let cache = cache_of(plan)?;
+    let no_seeds = HashMap::new();
+    let no_overrides = LeafOverrides::new();
+    let num_nodes = plan.tree.nodes().len();
+    let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
+    let mut flops = 0u64;
+
+    for (node_id, node) in plan.tree.nodes().iter().enumerate() {
+        if cls.class(node_id) != NodeClass::StemPure {
+            continue;
+        }
+        if let Some(vertex) = node.leaf_vertex {
+            slots[node_id] =
+                Some(sliced_leaf_tensor(plan, &no_overrides, sliced, assignment, vertex));
+        }
+    }
+
+    for &(l, r, out) in cls.stem_pure_schedule() {
+        let a = stem_operand(&mut slots, &no_seeds, cache, l)?;
+        let b = stem_operand(&mut slots, &no_seeds, cache, r)?;
+        let spec = ContractionSpec::new(a.indices(), b.indices());
+        flops += spec.flops();
+        slots[out] = Some(contract_pair(&a, &b));
+    }
+    Ok((slots, flops))
+}
+
+/// Fetch a StemMixed-replay operand: a mixed intermediate owned by `slots`
+/// (consumed), a StemPure keep borrowed from this subtask's `pure_slots`
+/// (shared by every bitstring of the batch), or a slice-invariant tensor
+/// borrowed from the frontier seeds / branch cache.
+fn mixed_operand<'a>(
+    slots: &mut [Option<DenseTensor<Complex64>>],
+    pure_slots: &'a [Option<DenseTensor<Complex64>>],
+    seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
+    cache: &'a BranchCache,
+    id: usize,
+) -> Result<Cow<'a, DenseTensor<Complex64>>, Error> {
+    if let Some(t) = slots[id].take() {
+        return Ok(Cow::Owned(t));
+    }
+    if let Some(t) = pure_slots[id].as_ref() {
+        return Ok(Cow::Borrowed(t));
+    }
+    cached_tensor(seeds, cache, id)
+        .map(Cow::Borrowed)
+        .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and caches")))
+}
+
+/// Unpooled StemMixed suffix for one bitstring of one slice assignment:
+/// mixed leaves are overridden and sliced, the mixed schedule replays with
+/// plain allocations, and slice-invariant or batch-shared operands are
+/// borrowed (frontier seeds, branch cache, and the pure keep set produced
+/// by [`run_pure_prefix`]). Returns the root tensor and the mixed flop
+/// count.
+fn run_mixed_suffix(
+    plan: &SimulationPlan,
+    pure_slots: &[Option<DenseTensor<Complex64>>],
+    seeds: &HashMap<usize, DenseTensor<Complex64>>,
+    overrides: &LeafOverrides,
+    sliced: &[IndexId],
+    assignment: usize,
+) -> Result<(DenseTensor<Complex64>, u64), Error> {
+    let cls = &plan.classification;
+    let cache = cache_of(plan)?;
+    let root = plan.tree.root();
+    let num_nodes = plan.tree.nodes().len();
+    let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
+    let mut flops = 0u64;
+
+    for (node_id, node) in plan.tree.nodes().iter().enumerate() {
+        if cls.class(node_id) != NodeClass::StemMixed {
+            continue;
+        }
+        if let Some(vertex) = node.leaf_vertex {
+            slots[node_id] = Some(sliced_leaf_tensor(plan, overrides, sliced, assignment, vertex));
+        }
+    }
+
+    for &(l, r, out) in cls.stem_mixed_schedule() {
+        let a = mixed_operand(&mut slots, pure_slots, seeds, cache, l)?;
+        let b = mixed_operand(&mut slots, pure_slots, seeds, cache, r)?;
+        let spec = ContractionSpec::new(a.indices(), b.indices());
+        flops += spec.flops();
+        slots[out] = Some(contract_pair(&a, &b));
+    }
+    slots[root]
+        .take()
+        .ok_or_else(|| Error::Internal("root tensor missing after mixed suffix".into()))
+        .map(|t| (t, flops))
+}
+
+/// Execute one plan for a whole batch of output bitstrings, amortizing the
+/// slice-dependent StemPure prefix across the batch.
+///
+/// Each bitstring is rebound onto the plan's output projectors (see
+/// [`qtn_circuit::NetworkBuild::rebind_output`]). With reuse enabled, every
+/// slice assignment contracts its StemPure prefix **once** and replays only
+/// the per-bitstring StemMixed suffix, and the per-bitstring frontiers are
+/// built with cross-bitstring subtree deduplication — instead of the full
+/// stem plus a fresh frontier once per bitstring. Results are
+/// **bit-identical** to a loop of single [`execute_on_pool`] calls with the
+/// same configuration — per bitstring the same pairwise contractions
+/// produce every tensor and the partials reduce in the same worker order;
+/// batching only changes how often shared work is computed. With reuse
+/// disabled the call falls back to exactly that loop of single executions.
+///
+/// The returned tensors are index-aligned with `bitstrings`; the
+/// [`ExecutionStats`] cover the whole batch, with
+/// [`ExecutionStats::stem_pure_flops`],
+/// [`ExecutionStats::stem_pure_flops_reused`] and
+/// [`ExecutionStats::amplitudes_in_batch`] quantifying the amortization.
+pub fn execute_amplitudes_on_pool(
+    pool: &WorkerPool,
+    plan: &Arc<SimulationPlan>,
+    bitstrings: &[&[u8]],
+    config: &ExecutorConfig,
+) -> Result<(Vec<DenseTensor<Complex64>>, ExecutionStats), Error> {
+    let batch = bitstrings.len();
+    if batch == 0 {
+        return Ok((
+            Vec::new(),
+            ExecutionStats {
+                subtasks_total: plan.num_subtasks(),
+                workers: 0,
+                ..ExecutionStats::default()
+            },
+        ));
+    }
+
+    let bits_vec: Vec<Vec<u8>> = bitstrings.iter().map(|b| b.to_vec()).collect();
+    let mut overrides_batch = Vec::with_capacity(batch);
+    for bits in &bits_vec {
+        let overrides: LeafOverrides = plan.build.rebind_output(bits)?.into_iter().collect();
+        overrides_batch.push(Arc::new(overrides));
+    }
+    if !config.reuse {
+        return execute_amplitudes_sequentially(pool, plan, &overrides_batch, config);
+    }
+
+    let open = plan.network.open_indices();
+    let sliced = plan.slicing.sliced.clone();
+    let sliced_open: Vec<IndexId> = sliced.iter().copied().filter(|e| open.contains(e)).collect();
+    let total_subtasks = 1usize << sliced.len();
+    let run_subtasks = if config.max_subtasks == 0 {
+        total_subtasks
+    } else {
+        config.max_subtasks.min(total_subtasks)
+    };
+    let workers = config.workers.max(1).min(run_subtasks.max(1));
+    let output_indices: IndexSet = {
+        let mut root = plan.tree.node(plan.tree.root()).indices.clone();
+        root.sort_unstable();
+        root.into_iter().collect()
+    };
+
+    let start = Instant::now();
+    let pooled = config.pool;
+    let state = prepare_reuse_batch(plan, &bits_vec, &overrides_batch, pooled)?;
+    let sweep_start = Instant::now();
+
+    let seeds_all = Arc::new(state.seeds);
+    let overrides_all: Arc<Vec<Arc<LeafOverrides>>> = Arc::new(overrides_batch);
+    let stem_exec_shared = state.stem_exec.as_ref().filter(|e| e.root_is_stem).map(Arc::clone);
+    let root_is_mixed = plan.classification.root_class() == NodeClass::StemMixed;
+
+    type BatchOutcome = (Vec<DenseTensor<Complex64>>, u64, u64, PoolCounters);
+    let (tx, rx) = mpsc::channel::<(usize, Result<BatchOutcome, Error>)>();
+    for worker in 0..workers {
+        let tx = tx.clone();
+        let plan = Arc::clone(plan);
+        let seeds_all = Arc::clone(&seeds_all);
+        let overrides_all = Arc::clone(&overrides_all);
+        let stem_exec = stem_exec_shared.as_ref().map(Arc::clone);
+        let sliced = sliced.clone();
+        let sliced_open = sliced_open.clone();
+        let output_indices = output_indices.clone();
+        pool.submit(Box::new(move || {
+            let mut ws = stem_exec.as_ref().map(|_| {
+                StemWorkspace::new(plan.tree.nodes().len(), plan.stem_pools.checkout(worker))
+            });
+            let outcome = (|| {
+                let mut partials: Vec<DenseTensor<Complex64>> =
+                    (0..batch).map(|_| DenseTensor::zeros(output_indices.clone())).collect();
+                let mut flops = 0u64;
+                let mut pure_flops = 0u64;
+                let root = plan.tree.root();
+                // Static striding over slice assignments, exactly like the
+                // single path: worker w owns subtasks w, w+W, w+2W, …
+                let mut assignment = worker;
+                while assignment < run_subtasks {
+                    match &stem_exec {
+                        // Pooled batched subtask: pure prefix once, mixed
+                        // suffix per bitstring on the held keep set.
+                        Some(exec) => {
+                            let ws = ws.as_mut().expect("workspace exists with stem_exec");
+                            let p = run_pure_prefix_pooled(&plan, exec, assignment, ws)?;
+                            flops += p;
+                            pure_flops += p;
+                            if root_is_mixed {
+                                for (b, partial) in partials.iter_mut().enumerate() {
+                                    let (result, m) = run_mixed_suffix_pooled(
+                                        &plan,
+                                        exec,
+                                        &seeds_all[b],
+                                        &overrides_all[b],
+                                        assignment,
+                                        ws,
+                                    )?;
+                                    flops += m;
+                                    merge_subtask(
+                                        partial,
+                                        &result,
+                                        &sliced_open,
+                                        &sliced,
+                                        assignment,
+                                    );
+                                    let (indices, buf) = result.into_parts();
+                                    ws.pool.release(buf, &mut ws.counters);
+                                    ws.root_indices = Some(indices);
+                                }
+                            } else {
+                                // The whole stem is StemPure: the prefix
+                                // root *is* every bitstring's subtask
+                                // result.
+                                let buf = ws.slots[root].take().ok_or_else(|| {
+                                    Error::Internal("root missing after pure prefix".into())
+                                })?;
+                                let indices = match ws.root_indices.take() {
+                                    Some(indices) => indices,
+                                    None => exec.node_indices[root].clone().ok_or_else(|| {
+                                        Error::Internal("root index set missing".into())
+                                    })?,
+                                };
+                                let result = DenseTensor::from_data(indices, buf);
+                                for partial in partials.iter_mut() {
+                                    merge_subtask(
+                                        partial,
+                                        &result,
+                                        &sliced_open,
+                                        &sliced,
+                                        assignment,
+                                    );
+                                }
+                                let (indices, buf) = result.into_parts();
+                                ws.pool.release(buf, &mut ws.counters);
+                                ws.root_indices = Some(indices);
+                            }
+                            // The batch is done with this subtask: the held
+                            // StemPure keep set goes back to the pool.
+                            for slot in ws.slots.iter_mut() {
+                                if let Some(buf) = slot.take() {
+                                    ws.pool.release(buf, &mut ws.counters);
+                                }
+                            }
+                        }
+                        // Unpooled (or slice-invariant) batched subtask.
+                        None if plan.classification.root_class().is_stem() => {
+                            let (pure_slots, p) = run_pure_prefix(&plan, &sliced, assignment)?;
+                            flops += p;
+                            pure_flops += p;
+                            if root_is_mixed {
+                                for (b, partial) in partials.iter_mut().enumerate() {
+                                    let (result, m) = run_mixed_suffix(
+                                        &plan,
+                                        &pure_slots,
+                                        &seeds_all[b],
+                                        &overrides_all[b],
+                                        &sliced,
+                                        assignment,
+                                    )?;
+                                    flops += m;
+                                    merge_subtask(
+                                        partial,
+                                        &result,
+                                        &sliced_open,
+                                        &sliced,
+                                        assignment,
+                                    );
+                                }
+                            } else {
+                                let result = pure_slots[root].as_ref().ok_or_else(|| {
+                                    Error::Internal("root missing after pure prefix".into())
+                                })?;
+                                for partial in partials.iter_mut() {
+                                    merge_subtask(
+                                        partial,
+                                        result,
+                                        &sliced_open,
+                                        &sliced,
+                                        assignment,
+                                    );
+                                }
+                            }
+                        }
+                        // No stem at all (unsliced plan): every bitstring's
+                        // result is its cached frontier root.
+                        None => {
+                            let cache = cache_of(&plan)?;
+                            for (b, partial) in partials.iter_mut().enumerate() {
+                                let result =
+                                    cached_tensor(&seeds_all[b], cache, root).ok_or_else(|| {
+                                        Error::Internal(
+                                            "slice-invariant root missing from caches".into(),
+                                        )
+                                    })?;
+                                merge_subtask(partial, result, &sliced_open, &sliced, assignment);
+                            }
+                        }
+                    }
+                    assignment += workers;
+                }
+                Ok((partials, flops, pure_flops))
+            })();
+            // Return the pool regardless of the outcome, draining any
+            // buffers a failed replay left behind.
+            let mut counters = PoolCounters::default();
+            if let Some(mut ws) = ws {
+                for slot in ws.slots.iter_mut() {
+                    if let Some(buf) = slot.take() {
+                        ws.pool.release(buf, &mut ws.counters);
+                    }
+                }
+                counters = ws.counters;
+                plan.stem_pools.checkin(worker, ws.pool);
+            }
+            let _ = tx.send((
+                worker,
+                outcome.map(|(partials, flops, pure)| (partials, flops, pure, counters)),
+            ));
+        }));
+    }
+    drop(tx);
+
+    // Collect every worker's per-bitstring partials, then reduce each
+    // bitstring in worker order — the same schedule-independent summation
+    // order a loop of single executions uses.
+    let mut worker_partials: Vec<Option<BatchOutcome>> = (0..workers).map(|_| None).collect();
+    for _ in 0..workers {
+        let (worker, outcome) = rx
+            .recv()
+            .map_err(|_| Error::Internal("an execution job panicked or was dropped".into()))?;
+        worker_partials[worker] = Some(outcome?);
+    }
+    let mut worker_partials = worker_partials.into_iter();
+    let (mut results, mut stem_flops, mut stem_pure_flops, mut pool_counters) = worker_partials
+        .next()
+        .flatten()
+        .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+    for slot in worker_partials {
+        let (partials, worker_flops, worker_pure, worker_counters) =
+            slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+        for (acc, partial) in results.iter_mut().zip(partials.iter()) {
+            acc.accumulate(partial);
+        }
+        stem_flops += worker_flops;
+        stem_pure_flops += worker_pure;
+        pool_counters.merge(&worker_counters);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let sweep_wall = sweep_start.elapsed().as_secs_f64();
+
+    // A loop of single executions would replay the StemPure prefix once per
+    // subtask *per bitstring*; the batch ran it once per subtask.
+    let stem_pure_flops_reused = stem_pure_flops.saturating_mul(batch as u64 - 1);
+    // And a full (reuse-off) replay would additionally pay branch work plus
+    // one *undeduplicated* frontier build in every subtask of every
+    // bitstring — the structural per-bitstring frontier bill, not the
+    // (smaller) deduped total this call actually executed, so the batched
+    // path and the sequential fallback account the same baseline.
+    let frontier_flops_full: u64 = plan
+        .classification
+        .frontier_schedule()
+        .iter()
+        .map(|&(l, r, _)| {
+            let left = &plan.tree.node(l).indices;
+            let right = &plan.tree.node(r).indices;
+            let union = left.len() + right.iter().filter(|e| !left.contains(*e)).count();
+            8u64 << union
+        })
+        .sum();
+    let branch_flops_reused = state
+        .branch_flops_total
+        .saturating_add(frontier_flops_full)
+        .saturating_mul(batch as u64)
+        .saturating_mul(run_subtasks as u64)
+        .saturating_sub(state.frontier_flops)
+        .saturating_sub(state.branch_flops);
+    let stats = ExecutionStats {
+        subtasks_run: run_subtasks,
+        subtasks_total: total_subtasks,
+        flops: stem_flops + state.frontier_flops + state.branch_flops,
+        stem_flops,
+        stem_pure_flops,
+        stem_pure_flops_reused,
+        stem_pure_contractions: plan.classification.stem_pure_schedule().len() as u64
+            * run_subtasks as u64,
+        amplitudes_in_batch: batch as u64,
+        frontier_flops: state.frontier_flops,
+        branch_flops: state.branch_flops,
+        branch_flops_reused,
+        branch_contractions: state.branch_contractions,
+        frontier_contractions: state.frontier_contractions,
+        buffers_allocated: pool_counters.allocated,
+        buffers_reused: pool_counters.reused,
+        peak_bytes_in_flight: pool_counters.peak_in_flight_bytes,
+        predicted_peak_bytes: plan.memory_plan.batched_stem.peak_bytes(),
+        wall_seconds: wall,
+        seconds_per_subtask: if run_subtasks > 0 {
+            sweep_wall * workers as f64 / run_subtasks as f64
+        } else {
+            0.0
+        },
+        workers,
+    };
+    Ok((results, stats))
+}
+
+/// The batched fallback: a plain loop of single executions, one per
+/// bitstring — what [`execute_amplitudes_on_pool`] degrades to when reuse
+/// is off or an override targets a non-projector leaf, and the baseline the
+/// batched path is bit-identical to.
+fn execute_amplitudes_sequentially(
+    pool: &WorkerPool,
+    plan: &Arc<SimulationPlan>,
+    overrides_batch: &[Arc<LeafOverrides>],
+    config: &ExecutorConfig,
+) -> Result<(Vec<DenseTensor<Complex64>>, ExecutionStats), Error> {
+    let start = Instant::now();
+    let mut results = Vec::with_capacity(overrides_batch.len());
+    let mut stats = ExecutionStats::default();
+    for overrides in overrides_batch {
+        let (result, s) = execute_on_pool(pool, plan, overrides, config)?;
+        results.push(result);
+        stats.subtasks_run += s.subtasks_run;
+        stats.subtasks_total = s.subtasks_total;
+        stats.flops += s.flops;
+        stats.stem_flops += s.stem_flops;
+        stats.stem_pure_flops += s.stem_pure_flops;
+        stats.stem_pure_contractions += s.stem_pure_contractions;
+        stats.frontier_flops += s.frontier_flops;
+        stats.branch_flops += s.branch_flops;
+        stats.branch_flops_reused += s.branch_flops_reused;
+        stats.branch_contractions += s.branch_contractions;
+        stats.frontier_contractions += s.frontier_contractions;
+        stats.buffers_allocated += s.buffers_allocated;
+        stats.buffers_reused += s.buffers_reused;
+        stats.peak_bytes_in_flight = stats.peak_bytes_in_flight.max(s.peak_bytes_in_flight);
+        stats.predicted_peak_bytes = s.predicted_peak_bytes;
+        stats.workers = stats.workers.max(s.workers);
+    }
+    stats.amplitudes_in_batch = overrides_batch.len() as u64;
+    stats.wall_seconds = start.elapsed().as_secs_f64();
+    stats.seconds_per_subtask = if stats.subtasks_run > 0 {
+        stats.wall_seconds * stats.workers as f64 / stats.subtasks_run as f64
+    } else {
+        0.0
+    };
+    Ok((results, stats))
 }
 
 /// Materialise one leaf for one slice assignment: substitute the execution's
@@ -1073,37 +1986,39 @@ fn stem_operand<'a>(
 /// contractions are replayed in schedule order, and every slice-invariant
 /// operand is read from the per-execution frontier seeds or the
 /// plan-lifetime branch cache. Returns the subtask's root tensor and the
-/// flop count of the replayed contractions.
+/// flop count of the replayed contractions, split as
+/// `(root, total_flops, pure_flops)`.
 fn run_subtask_stem(
     plan: &SimulationPlan,
     seeds: &HashMap<usize, DenseTensor<Complex64>>,
     overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
-) -> Result<(DenseTensor<Complex64>, u64), Error> {
+) -> Result<(DenseTensor<Complex64>, u64, u64), Error> {
     let cls = &plan.classification;
     let root = plan.tree.root();
     // `prepare_reuse` built the cache before any worker started.
     let cache = cache_of(plan)?;
-    if cls.class(root) != NodeClass::Stem {
+    if !cls.class(root).is_stem() {
         // No contraction depends on the slice assignment (empty slicing
         // set): the cached root tensor *is* the subtask result.
         return seeds
             .get(&root)
             .or_else(|| cache.tensor(root))
             .cloned()
-            .map(|t| (t, 0))
+            .map(|t| (t, 0, 0))
             .ok_or_else(|| Error::Internal("slice-invariant root missing from caches".into()));
     }
 
     let num_nodes = plan.tree.nodes().len();
     let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
     let mut flops = 0u64;
+    let mut pure_flops = 0u64;
 
     // Stem leaves: apply output-rebinding overrides, slice away the sliced
-    // edges (every leaf carrying a sliced edge is Stem-class by definition).
+    // edges (every leaf carrying a sliced edge is stem-class by definition).
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
-        if cls.class(node_id) != NodeClass::Stem {
+        if !cls.class(node_id).is_stem() {
             continue;
         }
         if let Some(vertex) = node.leaf_vertex {
@@ -1118,12 +2033,15 @@ fn run_subtask_stem(
         let b = stem_operand(&mut slots, seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        if cls.class(out) == NodeClass::StemPure {
+            pure_flops += spec.flops();
+        }
         slots[out] = Some(contract_pair(&a, &b));
     }
     slots[root]
         .take()
         .ok_or_else(|| Error::Internal("root tensor missing".into()))
-        .map(|t| (t, flops))
+        .map(|t| (t, flops, pure_flops))
 }
 
 /// Merge a subtask result into the partial accumulator: stack over sliced
@@ -1406,8 +2324,8 @@ mod tests {
         ));
         assert!(plan.slicing.len() >= 2);
         assert!(!plan.branch_cache_built());
-        let (branch, frontier, stem) = plan.classification.contraction_counts();
-        assert!(stem > 0);
+        let (branch, frontier, stem_pure, stem_mixed) = plan.classification.contraction_counts();
+        assert!(stem_pure + stem_mixed > 0);
         let pool = WorkerPool::new(2);
         let config =
             ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, ..Default::default() };
@@ -1564,6 +2482,170 @@ mod tests {
         assert_eq!(stats.peak_bytes_in_flight, 0);
         assert_eq!(stats.predicted_peak_bytes, 0);
         assert_eq!(plan.pooled_buffers_retained(), 0);
+    }
+
+    fn rebind_one(plan: &SimulationPlan, bits: &[u8]) -> Arc<LeafOverrides> {
+        Arc::new(plan.build.rebind_output(bits).unwrap().into_iter().collect())
+    }
+
+    #[test]
+    fn batched_execution_is_bit_identical_to_a_loop_of_singles() {
+        let circuit = RqcConfig::small(3, 3, 8, 2).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        assert!(plan.slicing.len() >= 2, "plan must be sliced for this test");
+        let pool = WorkerPool::new(4);
+        let patterns: Vec<Vec<u8>> =
+            (0..6usize).map(|k| (0..n).map(|q| ((k >> (q % 3)) & 1) as u8).collect()).collect();
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        for pooled in [true, false] {
+            let config = ExecutorConfig { workers: 4, max_subtasks: 0, reuse: true, pool: pooled };
+            let (results, stats) =
+                execute_amplitudes_on_pool(&pool, &plan, &batch, &config).unwrap();
+            assert_eq!(results.len(), patterns.len());
+            assert_eq!(stats.amplitudes_in_batch, patterns.len() as u64);
+            for (bits, batched) in patterns.iter().zip(results.iter()) {
+                let (single, _) =
+                    execute_on_pool(&pool, &plan, &rebind_one(&plan, bits), &config).unwrap();
+                assert_eq!(
+                    batched.data(),
+                    single.data(),
+                    "batched execution must be bit-identical to a single execute (pooled={pooled})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pure_prefix_runs_once_per_subtask_regardless_of_batch_size() {
+        let circuit = RqcConfig::small(3, 3, 8, 5).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        assert!(plan.slicing.len() >= 2);
+        let (_, _, pure, _) = plan.classification.contraction_counts();
+        assert!(pure > 0, "the stem must have a pure prefix for amortization to exist");
+        let pool = WorkerPool::new(2);
+        let config = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, pool: true };
+        let mut pure_flops_seen = None;
+        for b in [1usize, 4, 16] {
+            let patterns: Vec<Vec<u8>> =
+                (0..b).map(|k| (0..n).map(|q| ((k >> (q % 4)) & 1) as u8).collect()).collect();
+            let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+            let (_, stats) = execute_amplitudes_on_pool(&pool, &plan, &batch, &config).unwrap();
+            assert_eq!(
+                stats.stem_pure_contractions,
+                (pure * plan.num_subtasks()) as u64,
+                "pure contractions must not scale with the batch size (B={b})"
+            );
+            let pure_flops = stats.stem_pure_flops;
+            assert!(pure_flops > 0);
+            if let Some(seen) = pure_flops_seen {
+                assert_eq!(pure_flops, seen, "pure work is batch-size invariant");
+            }
+            pure_flops_seen = Some(pure_flops);
+            assert_eq!(stats.stem_pure_flops_reused, pure_flops * (b as u64 - 1));
+            assert_eq!(stats.amplitudes_in_batch, b as u64);
+        }
+    }
+
+    #[test]
+    fn batched_pooled_peak_matches_the_batched_prediction() {
+        let circuit = RqcConfig::small(3, 3, 8, 2).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        ));
+        assert!(plan.slicing.len() >= 2);
+        let pool = WorkerPool::new(2);
+        let config = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, pool: true };
+        let patterns: Vec<Vec<u8>> =
+            (0..8usize).map(|k| (0..n).map(|q| ((k >> (q % 3)) & 1) as u8).collect()).collect();
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let (_, stats) = execute_amplitudes_on_pool(&pool, &plan, &batch, &config).unwrap();
+        assert_eq!(stats.predicted_peak_bytes, plan.memory_plan.batched_stem.peak_bytes());
+        assert_eq!(
+            stats.peak_bytes_in_flight, stats.predicted_peak_bytes,
+            "the batched lifetime simulation must be exact"
+        );
+        // A second batch on the warm plan pools allocates nothing.
+        let (_, warm) = execute_amplitudes_on_pool(&pool, &plan, &batch, &config).unwrap();
+        assert_eq!(warm.buffers_allocated, 0, "warm batched sweep must be allocation-free");
+        assert_eq!(warm.peak_bytes_in_flight, warm.predicted_peak_bytes);
+    }
+
+    #[test]
+    fn batched_execution_without_reuse_falls_back_to_the_loop() {
+        let circuit = RqcConfig::small(3, 3, 8, 4).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 8, ..Default::default() },
+        ));
+        let pool = WorkerPool::new(2);
+        let reuse = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, pool: true };
+        let replay = ExecutorConfig { workers: 2, max_subtasks: 0, reuse: false, pool: true };
+        let patterns: Vec<Vec<u8>> =
+            (0..3usize).map(|k| (0..n).map(|q| ((k >> (q % 2)) & 1) as u8).collect()).collect();
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let (a, sa) = execute_amplitudes_on_pool(&pool, &plan, &batch, &reuse).unwrap();
+        let (b, sb) = execute_amplitudes_on_pool(&pool, &plan, &batch, &replay).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.data(), y.data(), "fallback must be bit-identical to the batched path");
+        }
+        assert_eq!(sb.stem_pure_flops, 0, "the full replay does not classify contractions");
+        assert_eq!(sb.amplitudes_in_batch, patterns.len() as u64);
+        assert!(sa.flops < sb.flops, "batching must save work over the reuse-off loop");
+    }
+
+    #[test]
+    fn batched_execution_of_an_unsliced_plan_reads_cached_roots() {
+        let circuit = RqcConfig::small(2, 3, 6, 7).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 40, ..Default::default() },
+        ));
+        assert!(plan.slicing.is_empty());
+        let pool = WorkerPool::new(1);
+        let config = ExecutorConfig { workers: 1, max_subtasks: 0, reuse: true, pool: true };
+        let patterns: Vec<Vec<u8>> = vec![vec![0; n], vec![1; n]];
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let (results, stats) = execute_amplitudes_on_pool(&pool, &plan, &batch, &config).unwrap();
+        assert_eq!(stats.stem_flops, 0);
+        assert_eq!(stats.stem_pure_contractions, 0);
+        let sv = StateVector::simulate(&circuit);
+        for (bits, result) in patterns.iter().zip(results.iter()) {
+            assert!((result.scalar_value() - sv.amplitude(bits)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_no_op() {
+        let circuit = RqcConfig::small(2, 2, 4, 1).build();
+        let n = circuit.num_qubits();
+        let plan = Arc::new(plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 20, ..Default::default() },
+        ));
+        let pool = WorkerPool::new(1);
+        let (results, stats) =
+            execute_amplitudes_on_pool(&pool, &plan, &[], &ExecutorConfig::default()).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(stats.amplitudes_in_batch, 0);
+        assert_eq!(stats.flops, 0);
     }
 
     #[test]

@@ -31,8 +31,8 @@ pub mod verify;
 pub use engine::{CompiledCircuit, Engine, ExecutionReport, OutputShape};
 pub use error::Error;
 pub use executor::{
-    execute_on_pool, execute_plan, try_execute_plan, BranchCache, ExecutionStats, ExecutorConfig,
-    LeafOverrides, WorkerPool,
+    execute_amplitudes_on_pool, execute_on_pool, execute_plan, try_execute_plan, BranchCache,
+    ExecutionStats, ExecutorConfig, LeafOverrides, WorkerPool,
 };
 pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
 pub use pool::{BufferPool, PoolCounters, SharedWorkerPools};

@@ -13,9 +13,9 @@ use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
 use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
 use qtn_slicing::{lifetime_slice_finder, refine_slicing, RefinerConfig, SlicingPlan};
 use qtn_tensornet::{
-    analyze_memory, classify_nodes, extract_stem, greedy_path, random_greedy_paths, refine_path,
-    simplify_network, ContractionTree, MemoryPlan, NodeClassification, PathConfig, RefineObjective,
-    Stem, TensorNetwork,
+    analyze_memory, classify_nodes, defer_projector_joins, extract_stem, greedy_path,
+    random_greedy_paths, refine_path, simplify_network, ContractionTree, MemoryPlan,
+    NodeClassification, PathConfig, RefineObjective, Stem, TensorNetwork,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -33,6 +33,13 @@ pub struct PlannerConfig {
     /// Whether to run the adaptive contraction-path refiner (subtree
     /// rotations with the Sunway-aware objective) after the path search.
     pub refine_path: bool,
+    /// Whether to run the batching-aware projector-deferral pass after
+    /// slicing: cost- and feasibility-neutral subtree rotations that push
+    /// projector-dependent joins toward the root of the sliced spine,
+    /// shrinking the StemMixed suffix a batched multi-amplitude execution
+    /// replays per bitstring (single executions are unaffected — the total
+    /// contraction cost never increases).
+    pub defer_projector_joins: bool,
     /// Refiner parameters.
     pub refiner: RefinerConfig,
     /// Seed for the randomised path search.
@@ -53,6 +60,7 @@ impl Default for PlannerConfig {
             path_candidates: 4,
             refine: true,
             refine_path: true,
+            defer_projector_joins: true,
             refiner: RefinerConfig::default(),
             seed: 0,
             memory_budget_bytes: None,
@@ -133,6 +141,16 @@ impl SimulationPlan {
         self.memory_plan.peak_bytes()
     }
 
+    /// The predicted per-worker peak of a **batched** multi-amplitude
+    /// execution's stem sweep ([`MemoryPlan::batched_stem`]): the StemPure
+    /// keep set is held across the whole bitstring batch while the
+    /// StemMixed suffix replays on top of it, so this can exceed
+    /// [`Self::predicted_peak_bytes`]. Exact, like every other phase
+    /// prediction.
+    pub fn predicted_batched_peak_bytes(&self) -> u64 {
+        self.memory_plan.batched_stem.peak_bytes()
+    }
+
     /// Buffers currently retained by the plan's persistent per-worker stem
     /// pools (observability for tests and benchmarks).
     pub fn pooled_buffers_retained(&self) -> usize {
@@ -172,7 +190,7 @@ pub fn plan_simulation(
         pairs = refined_pairs;
         tree = ContractionTree::from_pairs(&network, &pairs);
     }
-    let stem = extract_stem(&tree);
+    let mut stem = extract_stem(&tree);
 
     // Slice with the lifetime finder and optionally refine. Open (output)
     // indices may be sliced too: the executor *stacks* those subtask results
@@ -183,14 +201,28 @@ pub fn plan_simulation(
         slicing = refine_slicing(&stem, &slicing, &config.refiner);
     }
 
+    let overridable: Vec<usize> = build.projector_leaves.iter().map(|&(_, node)| node).collect();
+
+    // Batching-aware deferral: with the slicing set fixed, re-associate
+    // cost-degenerate contractions so projector-dependent subtrees join the
+    // sliced spine as late as possible. Strictly shrinks the StemMixed
+    // suffix batched executions replay per bitstring; never increases the
+    // total cost and never loosens slicing feasibility.
+    if config.defer_projector_joins && !slicing.sliced.is_empty() && !overridable.is_empty() {
+        let (deferred_pairs, _report) =
+            defer_projector_joins(&tree, &slicing.sliced, &overridable, 4);
+        pairs = deferred_pairs;
+        tree = ContractionTree::from_pairs(&network, &pairs);
+        stem = extract_stem(&tree);
+    }
+
     let log_cost = tree.total_log_cost();
     let overhead = slicing_overhead(&stem, &slicing.sliced);
 
     // Classify every tree node by what its subtree depends on: the sliced
     // edges (replayed per subtask), the rebindable output projectors
-    // (contracted once per execution) or neither (contracted once per plan).
-    // Structure-only, like the rest of planning.
-    let overridable: Vec<usize> = build.projector_leaves.iter().map(|&(_, node)| node).collect();
+    // (contracted once per execution or per bitstring) or neither
+    // (contracted once per plan). Structure-only, like the rest of planning.
     let classification = classify_nodes(&tree, &slicing.sliced, &overridable);
 
     // Lifetime analysis: first/last use of every intermediate, slot

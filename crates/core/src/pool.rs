@@ -17,6 +17,12 @@
 //! cache): a [`SharedWorkerPools`] hands each worker its pool at execution
 //! start and takes it back at the end, so a compiled circuit's second
 //! execution starts with warm free lists and allocates nothing at all.
+//! Batched multi-amplitude executions ride the same pools: the StemPure
+//! keep set of a subtask simply stays checked out across the whole
+//! bitstring batch (the buffers the size classes serve are identical, so a
+//! pool warmed by single executions also serves batched ones and vice
+//! versa), and the plan's `batched_stem` lifetime phase predicts that
+//! traffic exactly.
 //!
 //! [`PoolCounters`] are per-execution observability: how many buffers were
 //! freshly allocated vs recycled, and the exact high-water mark of bytes

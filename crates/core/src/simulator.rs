@@ -84,6 +84,30 @@ impl Simulator {
         value
     }
 
+    /// Compute the amplitudes of a whole batch of bitstrings in one batched
+    /// execution (see [`crate::CompiledCircuit::execute_amplitudes`]): the
+    /// slice-dependent `StemPure` prefix of every subtask is contracted once
+    /// and shared across the batch, instead of once per bitstring as a loop
+    /// of [`Self::amplitude`] calls would. Bit-identical to that loop.
+    ///
+    /// # Panics
+    /// Panics if any bitstring is invalid for the circuit. Prefer
+    /// [`crate::CompiledCircuit::execute_amplitudes`] for a fallible
+    /// variant.
+    pub fn amplitudes(&mut self, bitstrings: &[Vec<u8>]) -> Vec<Complex64> {
+        let template =
+            bitstrings.first().cloned().unwrap_or_else(|| vec![0; self.circuit.num_qubits()]);
+        let compiled = self
+            .engine
+            .compile(&self.circuit, &OutputSpec::Amplitude(template))
+            .expect("invalid amplitude spec");
+        let batch: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+        let (amplitudes, report) =
+            compiled.execute_amplitudes(&batch).expect("batched execution failed");
+        self.last_stats = Some(report.stats);
+        amplitudes
+    }
+
     /// Compute the tensor of amplitudes over `open` qubits with the remaining
     /// qubits fixed to `fixed` — the "correlated samples" workload. The
     /// returned tensor's axes are ordered by ascending qubit id.
@@ -100,11 +124,14 @@ impl Simulator {
     }
 
     /// Draw `count` correlated samples of the `open` qubits (with the other
-    /// qubits fixed to `fixed`) from the exact output distribution.
+    /// qubits fixed to `fixed`) from the exact output distribution, through
+    /// [`Engine::sample_bitstrings`]: the whole distribution comes from one
+    /// batched execution, never one stem sweep per sampled bitstring.
     ///
     /// # Panics
     /// Panics on invalid input or an all-zero distribution. Prefer
-    /// [`crate::CompiledCircuit::sample`] for a fallible variant.
+    /// [`Engine::sample_bitstrings`] or [`crate::CompiledCircuit::sample`]
+    /// for fallible variants.
     pub fn sample(
         &mut self,
         fixed: &[u8],
@@ -112,9 +139,10 @@ impl Simulator {
         count: usize,
         seed: u64,
     ) -> Vec<Vec<u8>> {
-        let spec = OutputSpec::Open { fixed: fixed.to_vec(), open: open.to_vec() };
-        let compiled = self.engine.compile(&self.circuit, &spec).expect("invalid open-batch spec");
-        let (samples, report) = compiled.sample(fixed, count, seed).expect("sampling failed");
+        let (samples, report) = self
+            .engine
+            .sample_bitstrings(&self.circuit, fixed, open, count, seed)
+            .expect("sampling failed");
         self.last_stats = Some(report.stats);
         samples
     }
@@ -171,6 +199,23 @@ mod tests {
         assert_eq!(samples.len(), 2000);
         let ones = samples.iter().filter(|s| s[0] == 1).count();
         assert!(ones > 800 && ones < 1200, "biased sampling: {ones}/2000");
+    }
+
+    #[test]
+    fn batched_amplitudes_match_single_amplitudes_bit_for_bit() {
+        let circuit = RqcConfig::small(3, 3, 8, 11).build();
+        let n = circuit.num_qubits();
+        let mut sim = Simulator::new(circuit)
+            .with_planner(PlannerConfig { target_rank: 7, ..Default::default() });
+        let bitstrings: Vec<Vec<u8>> =
+            (0..8usize).map(|k| (0..n).map(|q| ((k >> (q % 3)) & 1) as u8).collect()).collect();
+        let batched = sim.amplitudes(&bitstrings);
+        assert_eq!(sim.last_stats().unwrap().amplitudes_in_batch, 8);
+        for (bits, &amp) in bitstrings.iter().zip(batched.iter()) {
+            assert_eq!(sim.amplitude(bits), amp, "batched shim must match the single path");
+        }
+        // One plan serves the batch and every single amplitude.
+        assert_eq!(sim.engine().plans_built(), 1);
     }
 
     #[test]

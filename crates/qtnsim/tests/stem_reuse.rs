@@ -65,7 +65,9 @@ fn branch_cache_builds_once_per_compile_and_frontier_once_per_execute() {
     let spec = OutputSpec::Amplitude(vec![0; n]);
     let engine = Engine::with_configs(planner(), executor(true));
     let compiled = engine.compile(&circuit, &spec).unwrap();
-    let (branch, frontier, stem) = compiled.plan().classification.contraction_counts();
+    let (branch, frontier, stem_pure, stem_mixed) =
+        compiled.plan().classification.contraction_counts();
+    let stem = stem_pure + stem_mixed;
     assert!(branch > 0 && frontier > 0 && stem > 0, "all three phases must be populated");
 
     let mut reports = Vec::new();

@@ -47,12 +47,47 @@ pub fn is_narrow(m: usize, n: usize, k: usize) -> bool {
 /// `C += A * B` with `A` of shape `m x k`, `B` of shape `k x n`, `C` of shape
 /// `m x n`, all row-major.
 ///
-/// Dispatches to the narrow or blocked kernel based on the shape.
+/// Dispatches on the shape: degenerate `m == 1` / `n == 1` products go to
+/// the dedicated GEMV-style kernels (frontier-heavy contractions — a
+/// projector absorbed into a gate, a scalar-producing root — are dominated
+/// by these shapes), narrow shapes to the streaming kernel, everything else
+/// to the blocked kernel.
 pub fn gemm_auto<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
-    if is_narrow(m, n, k) {
+    if m == 1 {
+        gemv_row(a, b, c, n, k);
+    } else if n == 1 {
+        gemv_col(a, b, c, m, k);
+    } else if is_narrow(m, n, k) {
         gemm_narrow(a, b, c, m, n, k);
     } else {
         gemm(a, b, c, m, n, k);
+    }
+}
+
+/// `C += a · B` for a row vector `a` of length `k`, `B` of shape `k x n`:
+/// the `m == 1` GEMM. One streaming axpy per row of `B` — no row-slicing
+/// arithmetic, no tile bookkeeping.
+pub fn gemv_row<T: Scalar>(a: &[T], b: &[T], c: &mut [T], n: usize, k: usize) {
+    check_shapes(a, b, c, 1, n, k);
+    for (p, &a_p) in a.iter().enumerate() {
+        let b_row = &b[p * n..(p + 1) * n];
+        for (c_j, &b_pj) in c.iter_mut().zip(b_row.iter()) {
+            *c_j += a_p * b_pj;
+        }
+    }
+}
+
+/// `C += A · b` for `A` of shape `m x k` and a column vector `b` of length
+/// `k`: the `n == 1` GEMM. One register-accumulated dot product per row of
+/// `A` — `C[i]` is loaded and stored once instead of once per `k` term.
+pub fn gemv_col<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize) {
+    check_shapes(a, b, c, m, 1, k);
+    for (a_row, c_i) in a.chunks_exact(k).zip(c.iter_mut()) {
+        let mut acc = T::zero();
+        for (&a_ip, &b_p) in a_row.iter().zip(b.iter()) {
+            acc += a_ip * b_p;
+        }
+        *c_i += acc;
     }
 }
 
@@ -232,6 +267,16 @@ mod tests {
         assert_close(&c_blk, &c_ref);
         assert_close(&c_nar, &c_ref);
         assert_close(&c_auto, &c_ref);
+        if m == 1 {
+            let mut c_row = vec![Complex64::ZERO; n];
+            gemv_row(&a, &b, &mut c_row, n, k);
+            assert_close(&c_row, &c_ref);
+        }
+        if n == 1 {
+            let mut c_col = vec![Complex64::ZERO; m];
+            gemv_col(&a, &b, &mut c_col, m, k);
+            assert_close(&c_col, &c_ref);
+        }
     }
 
     #[test]
@@ -255,6 +300,32 @@ mod tests {
         check_against_reference(128, 4, 2, 5);
         check_against_reference(2, 256, 4, 6);
         check_against_reference(1, 1, 1024, 7);
+    }
+
+    #[test]
+    fn gemv_shapes() {
+        // m == 1: row-vector times matrix, across small and large n/k.
+        check_against_reference(1, 4, 8, 10);
+        check_against_reference(1, 256, 64, 11);
+        check_against_reference(1, 64, 1, 12);
+        // n == 1: matrix times column vector.
+        check_against_reference(4, 1, 8, 13);
+        check_against_reference(256, 1, 64, 14);
+        check_against_reference(64, 1, 1, 15);
+        // Degenerate dot product takes the row path.
+        check_against_reference(1, 1, 512, 16);
+    }
+
+    #[test]
+    fn gemv_accumulates_into_c() {
+        let a = vec![Complex64::ONE; 3];
+        let b = vec![c64(2.0, 0.0); 3];
+        let mut c = vec![c64(1.0, 0.0)];
+        gemv_row(&a, &b, &mut c, 1, 3);
+        assert_eq!(c[0], c64(7.0, 0.0)); // 1 + 3·2
+        let mut c = vec![c64(1.0, 0.0)];
+        gemv_col(&a, &b, &mut c, 1, 3);
+        assert_eq!(c[0], c64(7.0, 0.0));
     }
 
     #[test]

@@ -1,10 +1,23 @@
-//! Slice-dependency classification of contraction-tree nodes.
+//! Slice/projector-dependency classification of contraction-tree nodes.
 //!
 //! The paper's lifetime-based slicing (§4.2) pays off because only the
 //! *stem* — the dominant contraction spine — varies across the `2^|S|`
 //! slice assignments; everything hanging off it can be pre-contracted once.
 //! This module makes that observation precise for an arbitrary contraction
-//! tree: every node is classified by what its subtree depends on.
+//! tree: every node is classified by what its subtree depends on, along the
+//! two independent axes that matter for reuse — the *sliced edges* (which
+//! vary per subtask) and the *overridable output projectors* (which vary
+//! per bitstring under rebinding). The two booleans span a four-point
+//! product lattice:
+//!
+//! ```text
+//!                 StemMixed   (slice + projector)
+//!                 /        \
+//!         StemPure          Frontier
+//!     (slice only)          (projector only)
+//!                 \        /
+//!                  Branch    (neither)
+//! ```
 //!
 //! * [`NodeClass::Branch`] — the subtree touches **no sliced edge and no
 //!   overridable leaf**. Its tensor is identical for every slice assignment
@@ -13,34 +26,82 @@
 //! * [`NodeClass::Frontier`] — the subtree touches an overridable leaf (an
 //!   output projector that rebinding replaces) but no sliced edge. Its
 //!   tensor is identical across all slice assignments of one execution, so
-//!   it is contracted once per execution.
-//! * [`NodeClass::Stem`] — the subtree touches a sliced edge. Only these
-//!   nodes must be re-contracted for every slice assignment.
+//!   it is contracted once per execution (once per *bitstring* in a batched
+//!   execution).
+//! * [`NodeClass::StemPure`] — the subtree touches a sliced edge but no
+//!   overridable leaf. Its tensor varies per slice assignment but **not**
+//!   per bitstring, so a batched execution contracts it once per subtask
+//!   and shares it across the whole batch.
+//! * [`NodeClass::StemMixed`] — the subtree touches both a sliced edge and
+//!   an overridable leaf. Only these nodes must be re-contracted for every
+//!   `(subtask, bitstring)` pair.
 //!
-//! A node's class is the maximum of its children's classes (a subtree
-//! depends on everything its descendants depend on), so classes are
-//! monotone along root-ward paths and each class forms a union of maximal
-//! subtrees. [`classify_nodes`] precomputes, besides the per-node classes,
-//! the per-class contraction schedules and the *keep sets*: the roots of
-//! maximal Branch/Frontier subtrees whose tensors must outlive their
-//! contraction phase because a later phase consumes them.
+//! A node's class is the lattice [`NodeClass::join`] of its children's
+//! classes (a subtree depends on everything its descendants depend on), so
+//! classes are monotone along root-ward paths and each class forms a union
+//! of maximal subtrees. [`classify_nodes`] precomputes, besides the
+//! per-node classes, the per-class contraction schedules and the *keep
+//! sets*: the roots of maximal same-class subtrees whose tensors must
+//! outlive their contraction phase because a later phase consumes them.
 
 use crate::tree::ContractionTree;
 use qtn_tensor::IndexId;
 
-/// What a contraction-tree node's subtree depends on. Ordered by lifetime:
-/// `Branch < Frontier < Stem`, and a parent's class is the maximum of its
-/// children's.
+/// What a contraction-tree node's subtree depends on.
+///
+/// The derived total order (`Branch < Frontier < StemPure < StemMixed`)
+/// sorts classes by lifetime — how often the phase re-runs — and extends
+/// the dependency lattice (a parent's class is always `>=` each child's),
+/// but it is **not** the lattice join: `Frontier` and `StemPure` are
+/// incomparable dependencies whose join is `StemMixed`. Use
+/// [`NodeClass::join`] to combine children.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum NodeClass {
     /// Independent of sliced edges and overridable leaves: contract once per
     /// plan and cache for the plan's lifetime.
     Branch,
     /// Depends on overridable (output-projector) leaves but on no sliced
-    /// edge: contract once per execution.
+    /// edge: contract once per execution (per bitstring when batched).
     Frontier,
-    /// Depends on a sliced edge: re-contract for every slice assignment.
-    Stem,
+    /// Depends on sliced edges but on no overridable leaf: contract once
+    /// per slice assignment, shared by every bitstring of a batch.
+    StemPure,
+    /// Depends on both sliced edges and overridable leaves: re-contract for
+    /// every slice assignment of every bitstring.
+    StemMixed,
+}
+
+impl NodeClass {
+    /// Whether this class depends on a sliced edge (re-contracted per
+    /// subtask).
+    pub fn depends_on_slice(self) -> bool {
+        matches!(self, NodeClass::StemPure | NodeClass::StemMixed)
+    }
+
+    /// Whether this class depends on an overridable output projector
+    /// (re-contracted when the output bitstring changes).
+    pub fn depends_on_projector(self) -> bool {
+        matches!(self, NodeClass::Frontier | NodeClass::StemMixed)
+    }
+
+    /// Shorthand for [`Self::depends_on_slice`]: the classes the per-subtask
+    /// stem replay owns.
+    pub fn is_stem(self) -> bool {
+        self.depends_on_slice()
+    }
+
+    /// Least upper bound in the dependency lattice: the class of a node
+    /// whose subtree contains subtrees of classes `self` and `other`.
+    pub fn join(self, other: NodeClass) -> NodeClass {
+        match (self.depends_on_slice() || other.depends_on_slice(), {
+            self.depends_on_projector() || other.depends_on_projector()
+        }) {
+            (false, false) => NodeClass::Branch,
+            (false, true) => NodeClass::Frontier,
+            (true, false) => NodeClass::StemPure,
+            (true, true) => NodeClass::StemMixed,
+        }
+    }
 }
 
 /// The classification of every node of a contraction tree, with the derived
@@ -52,8 +113,11 @@ pub struct NodeClassification {
     branch_schedule: Vec<(usize, usize, usize)>,
     frontier_schedule: Vec<(usize, usize, usize)>,
     stem_schedule: Vec<(usize, usize, usize)>,
+    stem_pure_schedule: Vec<(usize, usize, usize)>,
+    stem_mixed_schedule: Vec<(usize, usize, usize)>,
     branch_keep: Vec<usize>,
     frontier_keep: Vec<usize>,
+    stem_pure_keep: Vec<usize>,
     stem_seeds: Vec<usize>,
 }
 
@@ -68,8 +132,8 @@ impl NodeClassification {
         &self.classes
     }
 
-    /// Class of the tree's root (equals [`NodeClass::Stem`] whenever the
-    /// slicing set is non-empty, since the root's subtree spans every leaf).
+    /// Class of the tree's root (a stem class whenever the slicing set is
+    /// non-empty, since the root's subtree spans every leaf).
     pub fn root_class(&self) -> NodeClass {
         self.classes[self.root]
     }
@@ -81,43 +145,75 @@ impl NodeClassification {
     }
 
     /// Contraction triples of the Frontier-class internal nodes, in
-    /// execution order. Contracted once per execution.
+    /// execution order. Contracted once per execution (per bitstring when
+    /// batched).
     pub fn frontier_schedule(&self) -> &[(usize, usize, usize)] {
         &self.frontier_schedule
     }
 
-    /// Contraction triples of the Stem-class internal nodes, in execution
-    /// order. Re-contracted for every slice assignment.
+    /// Contraction triples of **all** slice-dependent internal nodes
+    /// (`StemPure` and `StemMixed` merged, in execution order). This is the
+    /// per-subtask replay of a single execution; the batched executor
+    /// splits it into [`Self::stem_pure_schedule`] (once per subtask) and
+    /// [`Self::stem_mixed_schedule`] (per subtask per bitstring).
     pub fn stem_schedule(&self) -> &[(usize, usize, usize)] {
         &self.stem_schedule
     }
 
+    /// Contraction triples of the StemPure-class internal nodes, in
+    /// execution order. A batched execution contracts these once per slice
+    /// assignment and shares the results across every bitstring.
+    pub fn stem_pure_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.stem_pure_schedule
+    }
+
+    /// Contraction triples of the StemMixed-class internal nodes, in
+    /// execution order. Re-contracted for every `(subtask, bitstring)`.
+    pub fn stem_mixed_schedule(&self) -> &[(usize, usize, usize)] {
+        &self.stem_mixed_schedule
+    }
+
     /// Branch-class nodes whose tensor a later phase consumes: the roots of
-    /// maximal Branch subtrees (their parent is Frontier/Stem-class, or they
+    /// maximal Branch subtrees (their parent is of another class, or they
     /// are the tree root). These are the tensors worth caching per plan.
     pub fn branch_keep(&self) -> &[usize] {
         &self.branch_keep
     }
 
     /// Frontier-class nodes whose tensor the per-subtask replay consumes:
-    /// the roots of maximal Frontier subtrees (their parent is Stem-class,
-    /// or they are the tree root). Rebuilt once per execution.
+    /// the roots of maximal Frontier subtrees (their parent is a stem
+    /// class, or they are the tree root). Rebuilt once per execution.
     pub fn frontier_keep(&self) -> &[usize] {
         &self.frontier_keep
     }
 
-    /// Every cached (non-Stem) node the per-subtask stem replay reads: the
-    /// union of [`Self::branch_keep`] entries with a Stem parent and all of
-    /// [`Self::frontier_keep`]. When the root itself is not Stem-class the
-    /// root is included — the whole result is slice-invariant.
+    /// StemPure-class nodes whose tensor the StemMixed replay consumes: the
+    /// roots of maximal StemPure subtrees (their parent is StemMixed-class,
+    /// or they are the tree root). The batched executor materialises these
+    /// once per subtask and holds them alive across the whole bitstring
+    /// batch.
+    pub fn stem_pure_keep(&self) -> &[usize] {
+        &self.stem_pure_keep
+    }
+
+    /// Every cached (non-stem) node the per-subtask stem replay reads: the
+    /// union of [`Self::branch_keep`] entries with a stem-class parent and
+    /// all of [`Self::frontier_keep`]. When the root itself is not
+    /// stem-class the root is included — the whole result is
+    /// slice-invariant.
     pub fn stem_seeds(&self) -> &[usize] {
         &self.stem_seeds
     }
 
     /// Number of internal (contraction) nodes of each class, as
-    /// `(branch, frontier, stem)`.
-    pub fn contraction_counts(&self) -> (usize, usize, usize) {
-        (self.branch_schedule.len(), self.frontier_schedule.len(), self.stem_schedule.len())
+    /// `(branch, frontier, stem_pure, stem_mixed)`.
+    pub fn contraction_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.branch_schedule.len(),
+            self.frontier_schedule.len(),
+            self.stem_pure_schedule.len(),
+            self.stem_mixed_schedule.len(),
+        )
     }
 }
 
@@ -126,9 +222,9 @@ impl NodeClassification {
 ///
 /// `sliced` lists the sliced edge indices; `overridable_leaves` lists the
 /// *network vertex ids* of leaves whose data an execution may replace (the
-/// output projectors under rebinding). A leaf is Stem-class if it carries a
-/// sliced edge, else Frontier-class if it is overridable, else Branch-class;
-/// internal nodes take the maximum of their children.
+/// output projectors under rebinding). A leaf's class is determined by the
+/// two dependency booleans directly (carries a sliced edge / is
+/// overridable); internal nodes take the lattice join of their children.
 pub fn classify_nodes(
     tree: &ContractionTree,
     sliced: &[IndexId],
@@ -140,31 +236,41 @@ pub fn classify_nodes(
     // Leaves first: the only place dependencies originate.
     for (id, node) in nodes.iter().enumerate() {
         if let Some(vertex) = node.leaf_vertex {
-            classes[id] = if node.indices.iter().any(|e| sliced.contains(e)) {
-                NodeClass::Stem
-            } else if overridable_leaves.contains(&vertex) {
-                NodeClass::Frontier
-            } else {
-                NodeClass::Branch
+            let on_slice = node.indices.iter().any(|e| sliced.contains(e));
+            let on_projector = overridable_leaves.contains(&vertex);
+            classes[id] = match (on_slice, on_projector) {
+                (false, false) => NodeClass::Branch,
+                (false, true) => NodeClass::Frontier,
+                (true, false) => NodeClass::StemPure,
+                (true, true) => NodeClass::StemMixed,
             };
         }
     }
 
     // Internal nodes in execution order (children precede parents), so a
-    // single pass propagates the maximum upward.
+    // single pass propagates the lattice join upward.
     let schedule = tree.schedule();
     for &(l, r, out) in &schedule {
-        classes[out] = classes[l].max(classes[r]);
+        classes[out] = classes[l].join(classes[r]);
     }
 
     let mut branch_schedule = Vec::new();
     let mut frontier_schedule = Vec::new();
     let mut stem_schedule = Vec::new();
+    let mut stem_pure_schedule = Vec::new();
+    let mut stem_mixed_schedule = Vec::new();
     for &(l, r, out) in &schedule {
         match classes[out] {
             NodeClass::Branch => branch_schedule.push((l, r, out)),
             NodeClass::Frontier => frontier_schedule.push((l, r, out)),
-            NodeClass::Stem => stem_schedule.push((l, r, out)),
+            NodeClass::StemPure => {
+                stem_pure_schedule.push((l, r, out));
+                stem_schedule.push((l, r, out));
+            }
+            NodeClass::StemMixed => {
+                stem_mixed_schedule.push((l, r, out));
+                stem_schedule.push((l, r, out));
+            }
         }
     }
 
@@ -173,29 +279,38 @@ pub fn classify_nodes(
     let parent_class = |id: usize| nodes[id].parent.map(|p| classes[p]);
     let mut branch_keep = Vec::new();
     let mut frontier_keep = Vec::new();
+    let mut stem_pure_keep = Vec::new();
     let mut stem_seeds = Vec::new();
     for (id, &class) in classes.iter().enumerate() {
+        let parent = parent_class(id);
         match class {
-            NodeClass::Branch => match parent_class(id) {
-                None => {
+            NodeClass::Branch => {
+                if parent != Some(NodeClass::Branch) {
                     branch_keep.push(id);
-                    stem_seeds.push(id);
+                    // Seeds are what the per-subtask replay reads directly:
+                    // branch roots feeding a stem contraction, or the tree
+                    // root itself when nothing is sliced.
+                    if parent.is_none_or(NodeClass::is_stem) {
+                        stem_seeds.push(id);
+                    }
                 }
-                Some(NodeClass::Frontier) => branch_keep.push(id),
-                Some(NodeClass::Stem) => {
-                    branch_keep.push(id);
-                    stem_seeds.push(id);
-                }
-                Some(NodeClass::Branch) => {}
-            },
-            NodeClass::Frontier => match parent_class(id) {
-                None | Some(NodeClass::Stem) => {
+            }
+            NodeClass::Frontier => {
+                // A Frontier node's parent joins in its projector
+                // dependency, so it is Frontier or StemMixed — never
+                // StemPure.
+                if parent.is_none_or(NodeClass::is_stem) {
                     frontier_keep.push(id);
                     stem_seeds.push(id);
                 }
-                _ => {}
-            },
-            NodeClass::Stem => {}
+            }
+            NodeClass::StemPure => {
+                // A StemPure node's parent is StemPure or StemMixed.
+                if parent != Some(NodeClass::StemPure) {
+                    stem_pure_keep.push(id);
+                }
+            }
+            NodeClass::StemMixed => {}
         }
     }
 
@@ -205,8 +320,11 @@ pub fn classify_nodes(
         branch_schedule,
         frontier_schedule,
         stem_schedule,
+        stem_pure_schedule,
+        stem_mixed_schedule,
         branch_keep,
         frontier_keep,
+        stem_pure_keep,
         stem_seeds,
     }
 }
@@ -231,11 +349,34 @@ mod tests {
     }
 
     #[test]
+    fn join_is_the_product_lattice() {
+        use NodeClass::*;
+        assert_eq!(Branch.join(Branch), Branch);
+        assert_eq!(Branch.join(Frontier), Frontier);
+        assert_eq!(Branch.join(StemPure), StemPure);
+        assert_eq!(Frontier.join(StemPure), StemMixed, "incomparable classes join at the top");
+        assert_eq!(StemPure.join(Frontier), StemMixed);
+        assert_eq!(Frontier.join(Frontier), Frontier);
+        assert_eq!(StemMixed.join(Branch), StemMixed);
+        for a in [Branch, Frontier, StemPure, StemMixed] {
+            for b in [Branch, Frontier, StemPure, StemMixed] {
+                let j = a.join(b);
+                assert!(j >= a && j >= b, "total order must extend the lattice");
+                assert_eq!(j.depends_on_slice(), a.depends_on_slice() || b.depends_on_slice());
+                assert_eq!(
+                    j.depends_on_projector(),
+                    a.depends_on_projector() || b.depends_on_projector()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn no_slicing_no_overrides_is_all_branch() {
         let (_, tree) = chain4_tree();
         let c = classify_nodes(&tree, &[], &[]);
         assert!(c.classes().iter().all(|&k| k == NodeClass::Branch));
-        assert_eq!(c.contraction_counts(), (3, 0, 0));
+        assert_eq!(c.contraction_counts(), (3, 0, 0, 0));
         assert_eq!(c.stem_schedule().len(), 0);
         // The root is the single kept branch tensor and the only stem seed.
         assert_eq!(c.branch_keep(), &[tree.root()]);
@@ -246,17 +387,21 @@ mod tests {
     fn sliced_edge_stems_the_spine_only() {
         let (_, tree) = chain4_tree();
         // Slice edge 0: leaves 0 and 1 carry it, so nodes 0, 1 and every
-        // ancestor (4, 5, 6) are Stem; leaves 2 and 3 stay Branch.
+        // ancestor (4, 5, 6) are StemPure (no projector anywhere); leaves 2
+        // and 3 stay Branch.
         let c = classify_nodes(&tree, &[0], &[]);
-        assert_eq!(c.class(0), NodeClass::Stem);
-        assert_eq!(c.class(1), NodeClass::Stem);
+        assert_eq!(c.class(0), NodeClass::StemPure);
+        assert_eq!(c.class(1), NodeClass::StemPure);
         assert_eq!(c.class(2), NodeClass::Branch);
         assert_eq!(c.class(3), NodeClass::Branch);
-        assert_eq!(c.root_class(), NodeClass::Stem);
-        assert_eq!(c.contraction_counts(), (0, 0, 3));
+        assert_eq!(c.root_class(), NodeClass::StemPure);
+        assert_eq!(c.contraction_counts(), (0, 0, 3, 0));
+        assert_eq!(c.stem_schedule(), c.stem_pure_schedule());
         // Leaves 2 and 3 feed Stem contractions directly.
         assert_eq!(c.branch_keep(), &[2, 3]);
         assert_eq!(c.stem_seeds(), &[2, 3]);
+        // The StemPure spine's root is kept (it is the tree root).
+        assert_eq!(c.stem_pure_keep(), &[tree.root()]);
     }
 
     #[test]
@@ -267,7 +412,7 @@ mod tests {
         assert_eq!(c.class(3), NodeClass::Frontier);
         assert_eq!(c.class(0), NodeClass::Branch);
         // Only the final contraction (5+3 -> 6) consumes the projector.
-        assert_eq!(c.contraction_counts(), (2, 1, 0));
+        assert_eq!(c.contraction_counts(), (2, 1, 0, 0));
         assert_eq!(c.root_class(), NodeClass::Frontier);
         // Node 5 is a maximal Branch subtree feeding the Frontier phase.
         assert_eq!(c.branch_keep(), &[5]);
@@ -276,40 +421,73 @@ mod tests {
     }
 
     #[test]
-    fn three_classes_coexist() {
+    fn four_classes_coexist() {
         let (_, tree) = chain4_tree();
         // Slice edge 2 (leaves 2, 3), override leaf 0: leaf 1 is plain.
         let c = classify_nodes(&tree, &[2], &[0]);
         assert_eq!(c.class(0), NodeClass::Frontier);
         assert_eq!(c.class(1), NodeClass::Branch);
-        assert_eq!(c.class(2), NodeClass::Stem);
-        assert_eq!(c.class(3), NodeClass::Stem);
-        // 4 = leaf0 + leaf1 -> Frontier; 5 = 4 + leaf2 -> Stem; 6 -> Stem.
+        assert_eq!(c.class(2), NodeClass::StemPure);
+        assert_eq!(c.class(3), NodeClass::StemPure);
+        // 4 = leaf0 + leaf1 -> Frontier; 5 = 4 + leaf2 joins the projector
+        // dependency with the sliced edge -> StemMixed; 6 -> StemMixed.
         assert_eq!(c.class(4), NodeClass::Frontier);
-        assert_eq!(c.class(5), NodeClass::Stem);
-        assert_eq!(c.class(6), NodeClass::Stem);
-        assert_eq!(c.contraction_counts(), (0, 1, 2));
+        assert_eq!(c.class(5), NodeClass::StemMixed);
+        assert_eq!(c.class(6), NodeClass::StemMixed);
+        assert_eq!(c.contraction_counts(), (0, 1, 0, 2));
         assert_eq!(c.branch_keep(), &[1]);
         assert_eq!(c.frontier_keep(), &[4]);
         assert_eq!(c.stem_seeds(), &[4]);
+        // Sliced leaves feeding StemMixed contractions are StemPure keeps:
+        // the batched executor slices them once per subtask for the batch.
+        assert_eq!(c.stem_pure_keep(), &[2, 3]);
     }
 
     #[test]
-    fn overridden_and_sliced_leaf_is_stem() {
+    fn pure_prefix_feeds_mixed_suffix() {
+        let (_, tree) = chain4_tree();
+        // Slice edge 0 (leaves 0, 1), override leaf 3: the spine is sliced
+        // from the far end, the projector joins at the root.
+        let c = classify_nodes(&tree, &[0], &[3]);
+        assert_eq!(c.class(0), NodeClass::StemPure);
+        assert_eq!(c.class(1), NodeClass::StemPure);
+        assert_eq!(c.class(2), NodeClass::Branch);
+        assert_eq!(c.class(3), NodeClass::Frontier);
+        assert_eq!(c.class(4), NodeClass::StemPure); // 0+1
+        assert_eq!(c.class(5), NodeClass::StemPure); // 4+2 (branch operand)
+        assert_eq!(c.class(6), NodeClass::StemMixed); // 5+3 (projector joins)
+        assert_eq!(c.contraction_counts(), (0, 0, 2, 1));
+        // The combined stem schedule interleaves pure and mixed in
+        // execution order.
+        assert_eq!(c.stem_schedule().len(), 3);
+        assert_eq!(c.stem_pure_keep(), &[5], "node 5 is what the batch shares per subtask");
+        assert_eq!(c.frontier_keep(), &[3]);
+        assert_eq!(c.branch_keep(), &[2]);
+        // Seeds: branch leaf 2 (stem parent) and frontier leaf 3.
+        assert_eq!(c.stem_seeds(), &[2, 3]);
+    }
+
+    #[test]
+    fn overridden_and_sliced_leaf_is_stem_mixed() {
         let (_, tree) = chain4_tree();
         let c = classify_nodes(&tree, &[0], &[0]);
-        // Stem wins: the leaf must be re-sliced per subtask (and the replay
-        // applies the override before slicing).
-        assert_eq!(c.class(0), NodeClass::Stem);
+        // Both dependencies: the leaf must be re-sliced per subtask *and*
+        // re-read per bitstring (the replay applies the override before
+        // slicing).
+        assert_eq!(c.class(0), NodeClass::StemMixed);
     }
 
     #[test]
     fn classes_are_monotone_toward_the_root() {
         let (_, tree) = chain4_tree();
-        let c = classify_nodes(&tree, &[1], &[3]);
-        for (id, node) in tree.nodes().iter().enumerate() {
-            if let Some(p) = node.parent {
-                assert!(c.class(p) >= c.class(id), "class must not decrease toward the root");
+        for (sliced, overridable) in [(vec![1], vec![3]), (vec![0], vec![0, 3]), (vec![2], vec![0])]
+        {
+            let c = classify_nodes(&tree, &sliced, &overridable);
+            for (id, node) in tree.nodes().iter().enumerate() {
+                if let Some(p) = node.parent {
+                    assert!(c.class(p) >= c.class(id), "class must not decrease toward the root");
+                    assert_eq!(c.class(p), c.class(p).join(c.class(id)), "parent absorbs child");
+                }
             }
         }
     }
@@ -318,11 +496,24 @@ mod tests {
     fn schedules_partition_the_tree_schedule() {
         let (_, tree) = chain4_tree();
         let c = classify_nodes(&tree, &[1], &[0, 3]);
-        let total =
-            c.branch_schedule().len() + c.frontier_schedule().len() + c.stem_schedule().len();
+        let total = c.branch_schedule().len()
+            + c.frontier_schedule().len()
+            + c.stem_pure_schedule().len()
+            + c.stem_mixed_schedule().len();
         assert_eq!(total, tree.schedule().len());
+        assert_eq!(
+            c.stem_schedule().len(),
+            c.stem_pure_schedule().len() + c.stem_mixed_schedule().len(),
+            "the combined stem schedule is exactly the two stem classes"
+        );
         // Relative order within each class matches execution order.
-        for sched in [c.branch_schedule(), c.frontier_schedule(), c.stem_schedule()] {
+        for sched in [
+            c.branch_schedule(),
+            c.frontier_schedule(),
+            c.stem_schedule(),
+            c.stem_pure_schedule(),
+            c.stem_mixed_schedule(),
+        ] {
             let mut last = 0;
             for &(_, _, out) in sched {
                 assert!(out >= last, "per-class schedules must stay in execution order");

@@ -28,7 +28,9 @@ pub use cost::{log2_add, log2_sum, LogCost};
 pub use graph::TensorNetwork;
 pub use lifetime::{analyze_memory, BufferInterval, MemoryPlan, PhaseMemoryPlan};
 pub use path::{greedy_path, partition_path, random_greedy_paths, PathConfig};
-pub use refine::{refine_path, RefineObjective, RefineReport};
+pub use refine::{
+    defer_projector_joins, refine_path, BatchRefineReport, RefineObjective, RefineReport,
+};
 pub use simplify::simplify_network;
 pub use stem::{extract_stem, Stem, StemStep};
 pub use tree::{ContractionTree, TreeNode};

@@ -9,7 +9,8 @@
 //! per contraction.
 //!
 //! [`analyze_memory`] walks the tree once per reuse phase (Branch /
-//! Frontier / Stem, see [`crate::classify`]) and produces, for each phase:
+//! Frontier / the combined slice-dependent Stem, see [`crate::classify`])
+//! and produces, for each phase:
 //!
 //! * the liveness [`BufferInterval`] of every phase-owned buffer (the
 //!   phase's leaves, materialised up front, and the intermediates its
@@ -35,6 +36,17 @@
 //! its zero-allocation steady state. The unpooled builders (branch and
 //! frontier caches) follow the same produce/consume order with plain
 //! allocations, so their phase predictions bound those footprints too.
+//!
+//! Batched multi-amplitude execution gets its own phase plan
+//! ([`MemoryPlan::batched_stem`]): per subtask the StemPure prefix is
+//! contracted once and its keep-set tensors stay checked out of the pool
+//! across the whole bitstring batch, while the StemMixed suffix is replayed
+//! per bitstring on top of them. The simulation runs exactly that sequence
+//! (pure leaves, pure schedule, then one mixed pass with the pure keeps
+//! still live — later passes recycle the first pass's buffers, so one pass
+//! determines both the peak and the slot count), which is why a batched
+//! pooled execution's `peak_bytes_in_flight` equals
+//! `batched_stem.peak_bytes()` exactly.
 
 use crate::classify::{NodeClass, NodeClassification};
 use crate::tree::ContractionTree;
@@ -141,26 +153,37 @@ impl PhaseMemoryPlan {
 pub struct MemoryPlan {
     /// Plan-lifetime phase: contracted once per plan into the branch cache.
     pub branch: PhaseMemoryPlan,
-    /// Per-execution phase: rebuilt once per execute from the overrides.
+    /// Per-execution phase: rebuilt once per execute (per bitstring in a
+    /// batched execution) from the overrides.
     pub frontier: PhaseMemoryPlan,
-    /// Per-subtask phase: replayed `2^|S|` times — the pooled hot loop.
+    /// Per-subtask phase of a **single** execution: the combined StemPure +
+    /// StemMixed replay, run `2^|S|` times — the pooled hot loop.
     pub stem: PhaseMemoryPlan,
+    /// Per-subtask phase of a **batched** execution: the StemPure prefix
+    /// contracted once with its keep set held live, then one StemMixed pass
+    /// on top of it (every further bitstring of the batch recycles the
+    /// first pass's buffers, so one pass fixes both peak and slot count).
+    pub batched_stem: PhaseMemoryPlan,
 }
 
 impl MemoryPlan {
-    /// The worst per-phase peak: the minimum buffer memory one worker needs
-    /// to execute any single phase of the plan. This is the number a memory
-    /// budget is checked against.
+    /// The worst per-phase peak of a single (non-batched) execution: the
+    /// minimum buffer memory one worker needs to execute any single phase
+    /// of the plan. This is the number a memory budget is checked against.
+    /// A batched execution's per-worker stem peak is
+    /// [`batched_stem`](Self::batched_stem)`.peak_bytes()` instead, which
+    /// additionally holds the StemPure keep set across the bitstring loop.
     pub fn peak_bytes(&self) -> u64 {
         self.branch.peak_bytes.max(self.frontier.peak_bytes).max(self.stem.peak_bytes)
     }
 
-    /// The phase plan for a node class.
+    /// The single-execution phase plan that owns a node class (both stem
+    /// classes belong to the combined per-subtask stem replay).
     pub fn phase(&self, class: NodeClass) -> &PhaseMemoryPlan {
         match class {
             NodeClass::Branch => &self.branch,
             NodeClass::Frontier => &self.frontier,
-            NodeClass::Stem => &self.stem,
+            NodeClass::StemPure | NodeClass::StemMixed => &self.stem,
         }
     }
 }
@@ -214,60 +237,137 @@ fn effective_rank(tree: &ContractionTree, sliced: &[IndexId], node: usize) -> us
     tree.node(node).indices.iter().filter(|e| !sliced.contains(e)).count()
 }
 
-/// Simulate one phase: leaves up front, then the phase schedule, mirroring
-/// the executor's acquire/release order exactly (left scratch, right
-/// scratch, output; release scratch; release consumed phase-owned operands).
+/// Running state of one phase simulation: the greedy pool, the liveness
+/// intervals produced so far and the phase clock. Split out of
+/// [`analyze_phase`] so the batched-stem analysis can chain two passes
+/// (pure, then mixed with the pure keep set still live) over one pool.
+#[derive(Default)]
+struct PhaseSim {
+    sim: PoolSim,
+    intervals: Vec<BufferInterval>,
+    interval_of: BTreeMap<usize, usize>,
+    step: usize,
+}
+
+impl PhaseSim {
+    /// Materialise every leaf the membership predicate owns, in node-id
+    /// order, at the current step.
+    fn materialize_leaves(
+        &mut self,
+        tree: &ContractionTree,
+        classification: &NodeClassification,
+        sliced: &[IndexId],
+        owned: impl Fn(NodeClass) -> bool,
+    ) {
+        for (id, node) in tree.nodes().iter().enumerate() {
+            if node.is_leaf() && owned(classification.class(id)) {
+                let rank = effective_rank(tree, sliced, id);
+                let slot = self.sim.acquire(rank);
+                self.interval_of.insert(id, self.intervals.len());
+                self.intervals.push(BufferInterval {
+                    node: id,
+                    rank,
+                    produced: self.step,
+                    consumed: None,
+                    slot,
+                });
+            }
+        }
+    }
+
+    /// Replay a schedule, mirroring the executor's acquire/release order
+    /// exactly (left scratch, right scratch, output; release scratch;
+    /// release consumed operands — but only operands the `consumable`
+    /// predicate owns: borrowed cache tensors and, in the batched mixed
+    /// pass, the held StemPure keep set are never released here).
+    fn replay(
+        &mut self,
+        tree: &ContractionTree,
+        classification: &NodeClassification,
+        sliced: &[IndexId],
+        schedule: &[(usize, usize, usize)],
+        consumable: impl Fn(NodeClass) -> bool,
+    ) {
+        for &(l, r, out) in schedule {
+            self.step += 1;
+            // TTGT scratch for both operands (pooled even when the operand
+            // itself is a borrowed cache tensor), then the output buffer.
+            let left_scratch = self.sim.acquire(effective_rank(tree, sliced, l));
+            let right_scratch = self.sim.acquire(effective_rank(tree, sliced, r));
+            let rank = effective_rank(tree, sliced, out);
+            let slot = self.sim.acquire(rank);
+            self.sim.release(left_scratch);
+            self.sim.release(right_scratch);
+            for operand in [l, r] {
+                if consumable(classification.class(operand)) {
+                    let idx = self.interval_of[&operand];
+                    self.intervals[idx].consumed = Some(self.step);
+                    self.sim.release(self.intervals[idx].slot);
+                }
+            }
+            self.interval_of.insert(out, self.intervals.len());
+            self.intervals.push(BufferInterval {
+                node: out,
+                rank,
+                produced: self.step,
+                consumed: None,
+                slot,
+            });
+        }
+    }
+
+    fn finish(self) -> PhaseMemoryPlan {
+        let kept_bytes = self
+            .intervals
+            .iter()
+            .filter(|iv| iv.consumed.is_none())
+            .map(|iv| bytes_of_rank(iv.rank))
+            .sum();
+        PhaseMemoryPlan {
+            intervals: self.intervals,
+            slot_ranks: self.sim.slot_ranks,
+            peak_bytes: self.sim.peak_bytes,
+            kept_bytes,
+            max_live_buffers: self.sim.max_live_buffers,
+            peak_live_by_rank: self.sim.peak_live_by_rank,
+        }
+    }
+}
+
+/// Simulate one phase: leaves up front, then the phase schedule. `owned`
+/// decides which node classes the phase materialises and may consume.
 fn analyze_phase(
     tree: &ContractionTree,
     classification: &NodeClassification,
     sliced: &[IndexId],
-    phase: NodeClass,
+    owned: impl Fn(NodeClass) -> bool + Copy,
     schedule: &[(usize, usize, usize)],
 ) -> PhaseMemoryPlan {
-    let mut sim = PoolSim::default();
-    let mut intervals: Vec<BufferInterval> = Vec::new();
-    let mut interval_of: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut sim = PhaseSim::default();
+    sim.materialize_leaves(tree, classification, sliced, owned);
+    sim.replay(tree, classification, sliced, schedule, owned);
+    sim.finish()
+}
 
-    for (id, node) in tree.nodes().iter().enumerate() {
-        if node.is_leaf() && classification.class(id) == phase {
-            let rank = effective_rank(tree, sliced, id);
-            let slot = sim.acquire(rank);
-            interval_of.insert(id, intervals.len());
-            intervals.push(BufferInterval { node: id, rank, produced: 0, consumed: None, slot });
-        }
-    }
-
-    for (i, &(l, r, out)) in schedule.iter().enumerate() {
-        let step = i + 1;
-        // TTGT scratch for both operands (pooled even when the operand
-        // itself is a borrowed cache tensor), then the output buffer.
-        let left_scratch = sim.acquire(effective_rank(tree, sliced, l));
-        let right_scratch = sim.acquire(effective_rank(tree, sliced, r));
-        let rank = effective_rank(tree, sliced, out);
-        let slot = sim.acquire(rank);
-        sim.release(left_scratch);
-        sim.release(right_scratch);
-        for operand in [l, r] {
-            if classification.class(operand) == phase {
-                let idx = interval_of[&operand];
-                intervals[idx].consumed = Some(step);
-                sim.release(intervals[idx].slot);
-            }
-        }
-        interval_of.insert(out, intervals.len());
-        intervals.push(BufferInterval { node: out, rank, produced: step, consumed: None, slot });
-    }
-
-    let kept_bytes =
-        intervals.iter().filter(|iv| iv.consumed.is_none()).map(|iv| bytes_of_rank(iv.rank)).sum();
-    PhaseMemoryPlan {
-        intervals,
-        slot_ranks: sim.slot_ranks,
-        peak_bytes: sim.peak_bytes,
-        kept_bytes,
-        max_live_buffers: sim.max_live_buffers,
-        peak_live_by_rank: sim.peak_live_by_rank,
-    }
+/// Simulate one batched-execution subtask: the StemPure prefix runs first
+/// (its keep set — every pure buffer no pure contraction consumes — stays
+/// checked out), then one StemMixed pass on top of it. Every subsequent
+/// bitstring of the batch replays the mixed pass against warm free lists,
+/// so a single pass fixes both the exact peak and the slot count.
+fn analyze_batched_stem(
+    tree: &ContractionTree,
+    classification: &NodeClassification,
+    sliced: &[IndexId],
+) -> PhaseMemoryPlan {
+    let mut sim = PhaseSim::default();
+    let pure = |c: NodeClass| c == NodeClass::StemPure;
+    let mixed = |c: NodeClass| c == NodeClass::StemMixed;
+    sim.materialize_leaves(tree, classification, sliced, pure);
+    sim.replay(tree, classification, sliced, classification.stem_pure_schedule(), pure);
+    sim.step += 1; // mixed leaves of the first bitstring
+    sim.materialize_leaves(tree, classification, sliced, mixed);
+    sim.replay(tree, classification, sliced, classification.stem_mixed_schedule(), mixed);
+    sim.finish()
 }
 
 /// Compute the lifetime-based memory plan of a classified contraction tree.
@@ -287,23 +387,24 @@ pub fn analyze_memory(
             tree,
             classification,
             sliced,
-            NodeClass::Branch,
+            |c| c == NodeClass::Branch,
             classification.branch_schedule(),
         ),
         frontier: analyze_phase(
             tree,
             classification,
             sliced,
-            NodeClass::Frontier,
+            |c| c == NodeClass::Frontier,
             classification.frontier_schedule(),
         ),
         stem: analyze_phase(
             tree,
             classification,
             sliced,
-            NodeClass::Stem,
+            NodeClass::is_stem,
             classification.stem_schedule(),
         ),
+        batched_stem: analyze_batched_stem(tree, classification, sliced),
     }
 }
 
@@ -444,6 +545,49 @@ mod tests {
         // cached) + scratch r1 (leaf3) + out r0 → 2+5 = 7 amps = 112 B.
         assert_eq!(plan.frontier.peak_bytes(), 112);
         assert_eq!(plan.frontier.kept_bytes(), 16);
+    }
+
+    #[test]
+    fn batched_stem_holds_pure_keeps_across_the_mixed_pass() {
+        let tree = chain4_tree();
+        // Slice edge 0 (leaves 0, 1), override leaf 3: classes are
+        // 0,1,4,5 = StemPure; 2 = Branch; 3 = Frontier; 6 (root) = StemMixed.
+        let cls = classify_nodes(&tree, &[0], &[3]);
+        let plan = analyze_memory(&tree, &cls, &[0]);
+
+        // Hand simulation of one batched subtask (in bytes, rank r = 16·2^r;
+        // sliced ranks: leaf0 r0, leaf1 r1, node4 r1, node5 r1, root r0):
+        //   t0: pure leaves 0 (16) + 1 (32)                          = 48
+        //   step1 (0,1→4): +scratch 16+32 +out 32 → 128; drop to 32
+        //   step2 (4,2→5): +scratch 32+64 (branch operand 2 keeps its
+        //     full rank 2) +out 32 → 160 ← peak; drop to 32 (node5 kept)
+        //   mixed pass (5,3→6): node5 held + scratch 32+32 + out 16 → 112
+        assert_eq!(plan.batched_stem.peak_bytes(), 160);
+        // Outliving the pass: the held pure keep (node5) and the root.
+        assert_eq!(plan.batched_stem.kept_bytes(), 32 + 16);
+        let node5 =
+            plan.batched_stem.intervals().iter().find(|iv| iv.node == 5).expect("node5 interval");
+        assert_eq!(node5.consumed, None, "pure keeps are borrowed, never consumed, by mixed steps");
+        // Slots: rank 0 peaks at 2 (leaf0 + its step-1 scratch), rank 1 at 3
+        // (operand + scratch + output in flight), rank 2 at 1 (the branch
+        // operand's scratch).
+        let slots = plan.batched_stem.slot_count_by_rank();
+        assert_eq!(slots.get(&0), Some(&2));
+        assert_eq!(slots.get(&1), Some(&3));
+        assert_eq!(slots.get(&2), Some(&1));
+        assert_eq!(plan.batched_stem.num_slots(), 6);
+    }
+
+    #[test]
+    fn batched_stem_equals_stem_when_no_mixed_nodes_exist() {
+        let tree = chain4_tree();
+        // Slicing without overridable leaves: the whole stem is StemPure and
+        // the batched subtask is exactly one single-execution subtask.
+        let cls = classify_nodes(&tree, &[0], &[]);
+        let plan = analyze_memory(&tree, &cls, &[0]);
+        assert_eq!(cls.stem_mixed_schedule().len(), 0);
+        assert_eq!(plan.batched_stem.peak_bytes(), plan.stem.peak_bytes());
+        assert_eq!(plan.batched_stem.num_slots(), plan.stem.num_slots());
     }
 
     #[test]

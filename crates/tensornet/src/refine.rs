@@ -241,9 +241,12 @@ pub fn refine_path(
                         progressed = true;
                     }
                     None => {
-                        // Restore the original configuration.
+                        // Restore the original configuration — including
+                        // p's child order: when `internal` is p's *second*
+                        // child, `(internal, other)` is the reversed pair,
+                        // and a rejected rotation must not flip operands.
                         t.children[internal] = Some((x, y));
-                        t.children[p] = Some((internal, other));
+                        t.children[p] = Some((c, z));
                         t.recompute(internal);
                         t.recompute(p);
                     }
@@ -260,6 +263,200 @@ pub fn refine_path(
     let leaf_vertices: Vec<Option<usize>> = tree.nodes().iter().map(|n| n.leaf_vertex).collect();
     let pairs = t.to_pairs(&leaf_vertices);
     (pairs, RefineReport { cost_before, cost_after, rotations, sweeps })
+}
+
+/// Statistics of one projector-deferral run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRefineReport {
+    /// log2 of the total cost before/after (never increases).
+    pub cost_before: LogCost,
+    /// log2 of the total cost after the deferral.
+    pub cost_after: LogCost,
+    /// log2 of the StemMixed contraction cost before deferral — the work a
+    /// batched execution must replay per bitstring.
+    pub mixed_cost_before: LogCost,
+    /// log2 of the StemMixed contraction cost after deferral.
+    pub mixed_cost_after: LogCost,
+    /// Rotations applied.
+    pub rotations: usize,
+    /// Sweeps performed.
+    pub sweeps: usize,
+}
+
+/// Dependency bits of every node: does the subtree touch a sliced edge /
+/// an overridable projector leaf? A node is StemMixed-class iff both.
+struct DepBits {
+    slice: Vec<bool>,
+    proj: Vec<bool>,
+}
+
+impl DepBits {
+    fn recompute(&mut self, t: &MutableTree, n: usize) {
+        if let Some((l, r)) = t.children[n] {
+            self.slice[n] = self.slice[l] || self.slice[r];
+            self.proj[n] = self.proj[l] || self.proj[r];
+        }
+    }
+
+    fn recompute_subtree(&mut self, t: &MutableTree, n: usize) {
+        if let Some((l, r)) = t.children[n] {
+            self.recompute_subtree(t, l);
+            self.recompute_subtree(t, r);
+            self.recompute(t, n);
+        }
+    }
+
+    fn mixed(&self, n: usize) -> bool {
+        self.slice[n] && self.proj[n]
+    }
+}
+
+/// Refine a contraction tree for **batched multi-amplitude execution**:
+/// greedy subtree rotations that defer projector-dependent joins toward the
+/// root of the sliced spine, shrinking the StemMixed suffix a batched
+/// execution replays per bitstring (see [`crate::classify`]).
+///
+/// The batched executor contracts each subtask's StemPure prefix once for
+/// the whole batch; everything root-ward of the first projector join is
+/// StemMixed and must replay per bitstring. Cost-wise many RQC contraction
+/// orders are degenerate (every bond has weight 2), so there is real
+/// freedom in *where* the projector-dependent subtrees merge into the
+/// spine. This pass exploits it: a rotation is accepted only when it
+/// strictly shrinks the local StemMixed contraction cost while (a) not
+/// increasing the local contraction cost and (b) not raising any affected
+/// node's post-slicing rank above the tree's pre-existing maximum — so the
+/// slicing set chosen before the deferral stays exactly as feasible, and
+/// single-execution cost is untouched.
+///
+/// `sliced` and `overridable_leaves` have the same meaning as in
+/// [`crate::classify::classify_nodes`]. Returns the refined pair list and a
+/// report; with no sliced edges or no overridable leaves nothing is mixed
+/// and the pass is a no-op.
+pub fn defer_projector_joins(
+    tree: &ContractionTree,
+    sliced: &[IndexId],
+    overridable_leaves: &[usize],
+    max_sweeps: usize,
+) -> (Vec<(usize, usize)>, BatchRefineReport) {
+    let mut t = MutableTree::from_tree(tree);
+    let nodes = tree.nodes();
+    let mut deps = DepBits { slice: vec![false; nodes.len()], proj: vec![false; nodes.len()] };
+    for (id, node) in nodes.iter().enumerate() {
+        if let Some(vertex) = node.leaf_vertex {
+            deps.slice[id] = node.indices.iter().any(|e| sliced.contains(e));
+            deps.proj[id] = overridable_leaves.contains(&vertex);
+        }
+    }
+    deps.recompute_subtree(&t, t.root);
+
+    let eff_rank =
+        |t: &MutableTree, n: usize| t.indices[n].iter().filter(|e| !sliced.contains(e)).count();
+    // The feasibility envelope: no rotation may push any affected node's
+    // post-slicing rank above what the tree already contains.
+    let rank_bound = (0..t.children.len())
+        .filter(|&n| !t.is_leaf(n))
+        .map(|n| eff_rank(&t, n))
+        .max()
+        .unwrap_or(0);
+    let mixed_total = |t: &MutableTree, deps: &DepBits| {
+        (0..t.children.len())
+            .filter(|&n| !t.is_leaf(n) && deps.mixed(n))
+            .fold(f64::NEG_INFINITY, |acc, n| log2_add(acc, t.node_log_cost(n)))
+    };
+    let local_mixed = |t: &MutableTree, deps: &DepBits, p: usize, c: usize| {
+        [p, c]
+            .into_iter()
+            .filter(|&n| deps.mixed(n))
+            .fold(f64::NEG_INFINITY, |acc, n| log2_add(acc, t.node_log_cost(n)))
+    };
+
+    let cost_before = t.total_log_cost();
+    let mixed_cost_before = mixed_total(&t, &deps);
+    let mut rotations = 0;
+    let mut sweeps = 0;
+
+    for _ in 0..max_sweeps {
+        sweeps += 1;
+        let mut progressed = false;
+        for p in 0..t.children.len() {
+            let Some((c, z)) = t.children[p] else { continue };
+            // (mixed, cost, internal node, internal children, p children)
+            type Candidate = (f64, f64, usize, (usize, usize), (usize, usize));
+            let mut best: Option<Candidate> = None;
+            // Both children may play the internal (re-associated) role —
+            // the spine child of an absorption is as often the second as
+            // the first.
+            for (internal, other) in [(c, z), (z, c)] {
+                if t.is_leaf(internal) {
+                    continue;
+                }
+                let (x, y) = t.children[internal].unwrap();
+                let before_local = t.local_cost(p, internal);
+                let before_mixed = local_mixed(&t, &deps, p, internal);
+                for (a, b) in [(x, y), (y, x)] {
+                    // internal := (a, other); p := (internal, b). Only
+                    // `internal`'s subtree changes; p keeps its leaf set,
+                    // so p's index set and classes are untouched.
+                    t.children[internal] = Some((a, other));
+                    t.children[p] = Some((internal, b));
+                    t.recompute(internal);
+                    t.recompute(p);
+                    deps.recompute(&t, internal);
+                    let local = t.local_cost(p, internal);
+                    let mixed = local_mixed(&t, &deps, p, internal);
+                    let feasible = local <= before_local + 1e-12
+                        && eff_rank(&t, internal) <= rank_bound
+                        && mixed < before_mixed - 1e-12;
+                    let better = best
+                        .map(|(bm, bl, ..)| {
+                            mixed < bm - 1e-12 || (mixed < bm + 1e-12 && local < bl)
+                        })
+                        .unwrap_or(true);
+                    if feasible && better {
+                        best = Some((mixed, local, internal, (a, other), (internal, b)));
+                    }
+                }
+                // Restore the original configuration — including p's child
+                // *order* (for the second role `(internal, other)` is the
+                // reversed pair) — before trying the other role or applying
+                // the best candidate. A rejected sweep must be a true no-op.
+                t.children[internal] = Some((x, y));
+                t.children[p] = Some((c, z));
+                t.recompute(internal);
+                t.recompute(p);
+                deps.recompute(&t, internal);
+            }
+            if let Some((_, _, int_node, int_children, p_children)) = best {
+                t.children[int_node] = Some(int_children);
+                t.children[p] = Some(p_children);
+                t.recompute(int_node);
+                t.recompute(p);
+                t.recompute_subtree(t.root);
+                deps.recompute_subtree(&t, t.root);
+                rotations += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let cost_after = t.total_log_cost();
+    let mixed_cost_after = mixed_total(&t, &deps);
+    let leaf_vertices: Vec<Option<usize>> = nodes.iter().map(|n| n.leaf_vertex).collect();
+    let pairs = t.to_pairs(&leaf_vertices);
+    (
+        pairs,
+        BatchRefineReport {
+            cost_before,
+            cost_after,
+            mixed_cost_before,
+            mixed_cost_after,
+            rotations,
+            sweeps,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -330,6 +527,64 @@ mod tests {
             }
         }
         assert!(improved >= 2, "refiner improved only {improved}/6 poor trees");
+    }
+
+    #[test]
+    fn projector_deferral_is_cost_and_feasibility_neutral() {
+        let cfg = RqcConfig::small(3, 4, 10, 5);
+        let c = cfg.build();
+        let n = c.num_qubits();
+        let b = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0; n]));
+        let g = TensorNetwork::from_build(&b);
+        let mut work = g.clone();
+        let mut pairs = simplify_network(&mut work);
+        pairs.extend(greedy_path(&mut work, &PathConfig { temperature: 0.0, seed: 1 }));
+        let tree = ContractionTree::from_pairs(&g, &pairs);
+        let overridable: Vec<usize> = b.projector_leaves.iter().map(|&(_, node)| node).collect();
+        // Slice two edges of the root contraction's operands so a real
+        // stem exists.
+        let sliced: Vec<qtn_tensor::IndexId> = {
+            let root = tree.root();
+            let (l, _) = tree.node(root).children.unwrap();
+            tree.node(l).indices.iter().copied().take(2).collect()
+        };
+        let (pairs2, report) = defer_projector_joins(&tree, &sliced, &overridable, 8);
+        assert!(report.cost_after <= report.cost_before + 1e-9, "cost must not increase");
+        assert!(
+            report.mixed_cost_after <= report.mixed_cost_before + 1e-9,
+            "deferral must never grow the StemMixed cost"
+        );
+        // The refined pair list is still a valid full contraction of the
+        // same network with the same root rank.
+        let refined = ContractionTree::from_pairs(&g, &pairs2);
+        assert_eq!(refined.node(refined.root()).rank(), tree.node(tree.root()).rank());
+        // Feasibility envelope: the maximum post-slicing rank is unchanged
+        // or smaller.
+        let max_eff = |t: &ContractionTree| {
+            t.nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, node)| !node.is_leaf())
+                .map(|(_, node)| node.indices.iter().filter(|e| !sliced.contains(e)).count())
+                .max()
+                .unwrap()
+        };
+        assert!(max_eff(&refined) <= max_eff(&tree));
+    }
+
+    #[test]
+    fn projector_deferral_without_slicing_or_projectors_is_a_no_op() {
+        let (network, tree) = planned(3, 3, 8, 4);
+        let (identity, _) = defer_projector_joins(&tree, &[], &[], 0);
+        for (sliced, overridable) in [(vec![], vec![0usize]), (vec![0u32, 1], vec![])] {
+            let (pairs, report) = defer_projector_joins(&tree, &sliced, &overridable, 8);
+            assert_eq!(report.rotations, 0, "nothing is StemMixed, nothing to defer");
+            // A zero-rotation sweep must be a *true* no-op: the emitted pair
+            // list — operand order included — matches an untouched tree's.
+            assert_eq!(pairs, identity, "rejected sweeps must not perturb the tree");
+            let rebuilt = ContractionTree::from_pairs(&network, &pairs);
+            assert!((rebuilt.total_log_cost() - tree.total_log_cost()).abs() < 1e-9);
+        }
     }
 
     #[test]
