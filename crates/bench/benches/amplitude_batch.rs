@@ -17,6 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qtn_circuit::{OutputSpec, RqcConfig};
+use qtnsim_core::json::{array, JsonObject};
 use qtnsim_core::{CompiledCircuit, Engine, ExecutorConfig, PlannerConfig};
 use std::time::Instant;
 
@@ -95,31 +96,35 @@ fn bench_amplitude_batch(c: &mut Criterion) {
             stats.stem_pure_flops,
             stats.stem_pure_flops_reused,
         );
-        records.push(format!(
-            concat!(
-                "  {{\"batch_size\": {}, \"sliced_edges\": 4, \"subtasks\": {}, ",
-                "\"batched_seconds\": {:.6}, \"sequential_seconds\": {:.6}, ",
-                "\"speedup\": {:.3}, \"batched_flops\": {}, ",
-                "\"stem_pure_flops\": {}, \"stem_pure_flops_reused\": {}, ",
-                "\"peak_bytes_in_flight\": {}, \"predicted_peak_bytes\": {}}}"
-            ),
-            batch_size,
-            stats.subtasks_run,
-            batched_seconds,
-            sequential_seconds,
-            speedup,
-            stats.flops,
-            stats.stem_pure_flops,
-            stats.stem_pure_flops_reused,
-            stats.peak_bytes_in_flight,
-            stats.predicted_peak_bytes,
-        ));
+        let mut o = JsonObject::new();
+        o.field_usize("batch_size", batch_size)
+            .field_usize("subtasks", stats.subtasks_run)
+            .field_f64("batched_seconds", batched_seconds)
+            .field_f64("sequential_seconds", sequential_seconds)
+            .field_f64("speedup", speedup)
+            .field_u64("batched_flops", stats.flops)
+            .field_u64("stem_pure_flops", stats.stem_pure_flops)
+            .field_u64("stem_pure_flops_reused", stats.stem_pure_flops_reused)
+            .field_u64("peak_bytes_in_flight", stats.peak_bytes_in_flight)
+            .field_u64("predicted_peak_bytes", stats.predicted_peak_bytes);
+        records.push(o.finish());
         assert_eq!(
             stats.peak_bytes_in_flight, stats.predicted_peak_bytes,
             "batched pooled peak must match the lifetime prediction"
         );
     }
-    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    let mut config = JsonObject::new();
+    config
+        .field_str("circuit", "rqc-3x4x10-seed5")
+        .field_usize("sliced_edges", 4)
+        .field_usize("workers", 4)
+        .field_raw("batch_sizes", "[1, 8, 64]");
+    let mut top = JsonObject::new();
+    top.field_str("schema", "qtnsim-bench/amplitude_batch")
+        .field_u64("version", 2)
+        .field_raw("config", &config.finish())
+        .field_raw("results", &array(records));
+    let json = format!("{}\n", top.finish());
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_amplitude_batch.json");
     std::fs::write(path, json).expect("write BENCH_amplitude_batch.json");
 

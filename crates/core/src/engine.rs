@@ -115,7 +115,8 @@ struct PlanKey {
     shape: OutputShape,
 }
 
-/// A tiny LRU: most-recently-used entry at the front.
+/// A tiny LRU: most-recently-used entry at the front. One of these per cache
+/// shard; with the default single shard it is the whole plan cache.
 struct PlanCache {
     capacity: usize,
     entries: Vec<(PlanKey, Arc<SimulationPlan>)>,
@@ -130,20 +131,87 @@ impl PlanCache {
         Some(plan)
     }
 
-    fn insert(&mut self, key: PlanKey, plan: Arc<SimulationPlan>) {
+    /// Insert (or refresh) an entry; returns how many entries capacity
+    /// pressure evicted. Replacing an existing entry for the same key is a
+    /// refresh, not an eviction.
+    fn insert(&mut self, key: PlanKey, plan: Arc<SimulationPlan>) -> usize {
         self.entries.retain(|(k, _)| k != &key);
         self.entries.insert(0, (key, plan));
+        let evicted = self.entries.len().saturating_sub(self.capacity.max(1));
         self.entries.truncate(self.capacity.max(1));
+        evicted
+    }
+}
+
+/// Plan-cache observability counters, as reported by
+/// [`Engine::cache_stats`]. All counters are cumulative over the engine's
+/// lifetime and shared across clones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Compiles served from the plan cache without replanning.
+    pub hits: usize,
+    /// Compiles that had to run the full planning pipeline.
+    pub misses: usize,
+    /// Plans dropped from the cache by capacity pressure (LRU eviction or a
+    /// capacity shrink), summed over all shards.
+    pub evictions: usize,
+}
+
+impl CacheStats {
+    /// Render the counters as a JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        let mut obj = crate::json::JsonObject::new();
+        obj.field_u64("plan_cache_hits", self.hits as u64)
+            .field_u64("plan_cache_misses", self.misses as u64)
+            .field_u64("plan_cache_evictions", self.evictions as u64);
+        obj.finish()
     }
 }
 
 /// The cache/counter state of an engine, shared across clones and compiled
 /// circuits. Kept separate from the worker pool so reconfiguring the pool
 /// never discards cached plans or resets counters.
+///
+/// The plan cache is split into independently locked shards selected by
+/// circuit fingerprint, so concurrent compiles of *different* circuits (a
+/// server's acceptor threads) never contend on one mutex. The default is a
+/// single shard, which preserves exact global LRU semantics.
 struct EngineState {
-    cache: Mutex<PlanCache>,
+    shards: Vec<Mutex<PlanCache>>,
     plans_built: AtomicUsize,
     cache_hits: AtomicUsize,
+    cache_misses: AtomicUsize,
+    cache_evictions: AtomicUsize,
+}
+
+impl EngineState {
+    fn with_shards(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        EngineState {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(PlanCache { capacity: capacity_per_shard, entries: Vec::new() })
+                })
+                .collect(),
+            plans_built: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            cache_misses: AtomicUsize::new(0),
+            cache_evictions: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<PlanCache> {
+        // FNV-1a's low bits cluster badly for structurally similar circuits
+        // (a family of same-shape RQCs can land ≡ each other mod the shard
+        // count), so finalize with a splitmix64-style mix before reducing.
+        let mut x = fingerprint;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        &self.shards[(x % self.shards.len() as u64) as usize]
+    }
 }
 
 /// A compile-once / execute-many simulation engine.
@@ -196,14 +264,7 @@ impl Engine {
 
     /// Create an engine with explicit configurations.
     pub fn with_configs(planner: PlannerConfig, executor: ExecutorConfig) -> Self {
-        let state = Arc::new(EngineState {
-            cache: Mutex::new(PlanCache {
-                capacity: DEFAULT_PLAN_CACHE_CAPACITY,
-                entries: Vec::new(),
-            }),
-            plans_built: AtomicUsize::new(0),
-            cache_hits: AtomicUsize::new(0),
-        });
+        let state = Arc::new(EngineState::with_shards(1, DEFAULT_PLAN_CACHE_CAPACITY));
         Self {
             planner,
             executor: executor.clone(),
@@ -246,14 +307,67 @@ impl Engine {
         self
     }
 
-    /// Set how many plans the LRU cache retains (builder style).
+    /// Set how many plans the LRU cache retains in total (builder style).
+    /// With multiple shards the capacity is split evenly (rounded up, at
+    /// least one plan per shard); shrinking below the current population
+    /// evicts least-recently-used entries and counts them in
+    /// [`cache_stats`](Self::cache_stats).
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
-        if let Ok(mut cache) = self.state.cache.lock() {
-            cache.capacity = capacity.max(1);
-            let cap = cache.capacity;
-            cache.entries.truncate(cap);
+        let per_shard = capacity.max(1).div_ceil(self.state.shards.len()).max(1);
+        for shard in &self.state.shards {
+            if let Ok(mut cache) = shard.lock() {
+                cache.capacity = per_shard;
+                let evicted = cache.entries.len().saturating_sub(per_shard);
+                cache.entries.truncate(per_shard);
+                self.state.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
         }
         self
+    }
+
+    /// Split the plan cache into `shards` independently locked LRU shards
+    /// selected by circuit fingerprint (builder style). One shard — the
+    /// default — is an exact global LRU; more shards trade eviction
+    /// precision for lock-contention-free concurrent compiles of distinct
+    /// circuits, the access pattern of a multi-threaded amplitude server.
+    ///
+    /// Resharding rebuilds the engine's shared state: existing cached plans
+    /// are redistributed by fingerprint and all counters carry over, but
+    /// clones made *before* this call keep the old state — reshard before
+    /// cloning or compiling, as [`crate::Engine::with_executor`] users
+    /// reconfigure pools.
+    pub fn with_cache_shards(mut self, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let total_capacity: usize =
+            self.state.shards.iter().map(|s| s.lock().map(|c| c.capacity).unwrap_or(0)).sum();
+        let per_shard = total_capacity.max(1).div_ceil(shards).max(1);
+        let next = EngineState::with_shards(shards, per_shard);
+        next.plans_built.store(self.plans_built(), Ordering::Relaxed);
+        next.cache_hits.store(self.state.cache_hits.load(Ordering::Relaxed), Ordering::Relaxed);
+        next.cache_misses.store(self.state.cache_misses.load(Ordering::Relaxed), Ordering::Relaxed);
+        next.cache_evictions
+            .store(self.state.cache_evictions.load(Ordering::Relaxed), Ordering::Relaxed);
+        let mut evicted = 0;
+        for shard in &self.state.shards {
+            if let Ok(cache) = shard.lock() {
+                // Iterate oldest-first so re-inserting preserves LRU order
+                // (insert places each entry at the front of its new shard).
+                for (key, plan) in cache.entries.iter().rev() {
+                    if let Ok(mut target) = next.shard(key.fingerprint).lock() {
+                        evicted += target.insert(key.clone(), Arc::clone(plan));
+                    }
+                }
+            }
+        }
+        next.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.state = Arc::new(next);
+        self
+    }
+
+    /// Number of plan-cache shards (1 unless raised with
+    /// [`with_cache_shards`](Self::with_cache_shards)).
+    pub fn cache_shards(&self) -> usize {
+        self.state.shards.len()
     }
 
     /// The planner configuration.
@@ -275,6 +389,17 @@ impl Engine {
     /// How many compiles were served from the plan cache.
     pub fn cache_hits(&self) -> usize {
         self.state.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative plan-cache observability counters
+    /// (hits / misses / evictions), shared across engine clones — the
+    /// numbers a serving layer exports as cache metrics.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.state.cache_hits.load(Ordering::Relaxed),
+            misses: self.state.cache_misses.load(Ordering::Relaxed),
+            evictions: self.state.cache_evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Validate an output spec against a circuit at the API boundary.
@@ -346,7 +471,7 @@ impl Engine {
 
         let cached = self
             .state
-            .cache
+            .shard(key.fingerprint)
             .lock()
             .map_err(|_| Error::Internal("plan cache poisoned".into()))?
             .get(&key);
@@ -356,13 +481,16 @@ impl Engine {
                 (plan, true)
             }
             None => {
+                self.state.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let plan = Arc::new(plan_simulation(circuit, output, &self.planner));
                 self.state.plans_built.fetch_add(1, Ordering::Relaxed);
-                self.state
-                    .cache
+                let evicted = self
+                    .state
+                    .shard(key.fingerprint)
                     .lock()
                     .map_err(|_| Error::Internal("plan cache poisoned".into()))?
                     .insert(key.clone(), Arc::clone(&plan));
+                self.state.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
                 (plan, false)
             }
         };
@@ -385,6 +513,7 @@ impl Engine {
             executor: self.executor.clone(),
             shape: key.shape,
             num_qubits: circuit.num_qubits(),
+            fingerprint: key.fingerprint,
             plan_cache_hit: cache_hit,
         })
     }
@@ -425,6 +554,7 @@ pub struct CompiledCircuit {
     executor: ExecutorConfig,
     shape: OutputShape,
     num_qubits: usize,
+    fingerprint: u64,
     plan_cache_hit: bool,
 }
 
@@ -454,6 +584,15 @@ impl CompiledCircuit {
     /// Number of qubits of the source circuit.
     pub fn num_qubits(&self) -> usize {
         self.num_qubits
+    }
+
+    /// The [`Circuit::fingerprint`] this circuit was compiled from — the key
+    /// the engine's plan cache shards on, and the key a serving layer
+    /// coalesces concurrent requests under: two compiled circuits with equal
+    /// fingerprints and shapes share one plan, so their amplitude requests
+    /// can ride one batched execution.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Whether compilation was served from the engine's plan cache.
@@ -853,6 +992,72 @@ mod tests {
         engine.compile(&c1, &spec(&c1)).unwrap(); // miss: was evicted
         assert_eq!(engine.plans_built(), 4);
         assert_eq!(engine.cache_hits(), 1);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_evictions() {
+        let engine = Engine::new().with_cache_capacity(2);
+        let mk = |seed: u64| RqcConfig::small(2, 2, 4, seed).build();
+        let (c1, c2, c3) = (mk(1), mk(2), mk(3));
+        let spec = |c: &Circuit| OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        engine.compile(&c1, &spec(&c1)).unwrap(); // miss
+        engine.compile(&c1, &spec(&c1)).unwrap(); // hit
+        engine.compile(&c2, &spec(&c2)).unwrap(); // miss
+        engine.compile(&c3, &spec(&c3)).unwrap(); // miss, evicts c1
+        assert_eq!(engine.cache_stats(), CacheStats { hits: 1, misses: 3, evictions: 1 });
+        // The legacy accessor and the struct agree.
+        assert_eq!(engine.cache_hits(), engine.cache_stats().hits);
+        let json = engine.cache_stats().to_json();
+        assert!(json.contains("\"plan_cache_evictions\": 1"), "{json}");
+    }
+
+    #[test]
+    fn sharded_cache_serves_and_keeps_plans() {
+        let mk = |seed: u64| RqcConfig::small(2, 2, 4, seed).build();
+        let circuits: Vec<Circuit> = (1..=5).map(mk).collect();
+        let spec = |c: &Circuit| OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        // Populate unsharded, then reshard: cached plans must survive the
+        // redistribution and keep serving hits.
+        let engine = Engine::new();
+        for c in &circuits {
+            engine.compile(c, &spec(c)).unwrap();
+        }
+        let engine = engine.with_cache_shards(4);
+        assert_eq!(engine.cache_shards(), 4);
+        assert_eq!(engine.plans_built(), circuits.len(), "resharding must keep counters");
+        for c in &circuits {
+            assert!(engine.compile(c, &spec(c)).unwrap().plan_cache_hit());
+        }
+        assert_eq!(engine.cache_stats().hits, circuits.len());
+        // Concurrent compiles of distinct circuits across shards stay exact.
+        let engine = std::sync::Arc::new(engine);
+        let handles: Vec<_> = circuits
+            .iter()
+            .map(|c| {
+                let engine = std::sync::Arc::clone(&engine);
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    engine.compile(&c, &OutputSpec::Amplitude(vec![0; c.num_qubits()])).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(engine.plans_built(), circuits.len(), "all concurrent compiles were hits");
+    }
+
+    #[test]
+    fn compiled_circuit_exposes_the_fingerprint() {
+        let mk = |seed: u64| RqcConfig::small(2, 2, 4, seed).build();
+        let (c1, c2) = (mk(1), mk(2));
+        let engine = Engine::new();
+        let spec = |c: &Circuit| OutputSpec::Amplitude(vec![0; c.num_qubits()]);
+        let a = engine.compile(&c1, &spec(&c1)).unwrap();
+        let b = engine.compile(&c2, &spec(&c2)).unwrap();
+        assert_eq!(a.fingerprint(), c1.fingerprint());
+        assert_eq!(b.fingerprint(), c2.fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

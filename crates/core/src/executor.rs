@@ -219,6 +219,65 @@ impl ExecutionStats {
             0.0
         }
     }
+
+    /// Fold another execution's measurements into this one, turning a
+    /// sequence of per-execution stats into a running service-level total:
+    /// counters and wall time add up, high-water marks (`peak_bytes_in_flight`,
+    /// `predicted_peak_bytes`, `workers`) take the maximum, and the derived
+    /// `seconds_per_subtask` becomes the aggregate mean wall time per
+    /// executed subtask. `qtnsim-serve` aggregates every dispatched batch
+    /// through this before exporting the totals on its stats endpoint.
+    pub fn absorb(&mut self, other: &ExecutionStats) {
+        self.subtasks_run += other.subtasks_run;
+        self.subtasks_total += other.subtasks_total;
+        self.flops += other.flops;
+        self.stem_flops += other.stem_flops;
+        self.stem_pure_flops += other.stem_pure_flops;
+        self.stem_pure_flops_reused += other.stem_pure_flops_reused;
+        self.stem_pure_contractions += other.stem_pure_contractions;
+        self.amplitudes_in_batch += other.amplitudes_in_batch;
+        self.frontier_flops += other.frontier_flops;
+        self.branch_flops += other.branch_flops;
+        self.branch_flops_reused += other.branch_flops_reused;
+        self.branch_contractions += other.branch_contractions;
+        self.frontier_contractions += other.frontier_contractions;
+        self.buffers_allocated += other.buffers_allocated;
+        self.buffers_reused += other.buffers_reused;
+        self.peak_bytes_in_flight = self.peak_bytes_in_flight.max(other.peak_bytes_in_flight);
+        self.predicted_peak_bytes = self.predicted_peak_bytes.max(other.predicted_peak_bytes);
+        self.wall_seconds += other.wall_seconds;
+        self.seconds_per_subtask =
+            if self.subtasks_run > 0 { self.wall_seconds / self.subtasks_run as f64 } else { 0.0 };
+        self.workers = self.workers.max(other.workers);
+    }
+
+    /// Render every counter as a JSON object (see [`crate::json`]) — the one
+    /// formatting path shared by the `BENCH_*.json` writers and the
+    /// `qtnsim-serve` stats endpoint.
+    pub fn to_json(&self) -> String {
+        let mut obj = crate::json::JsonObject::new();
+        obj.field_usize("subtasks_run", self.subtasks_run)
+            .field_usize("subtasks_total", self.subtasks_total)
+            .field_u64("flops", self.flops)
+            .field_u64("stem_flops", self.stem_flops)
+            .field_u64("stem_pure_flops", self.stem_pure_flops)
+            .field_u64("stem_pure_flops_reused", self.stem_pure_flops_reused)
+            .field_u64("stem_pure_contractions", self.stem_pure_contractions)
+            .field_u64("amplitudes_in_batch", self.amplitudes_in_batch)
+            .field_u64("frontier_flops", self.frontier_flops)
+            .field_u64("branch_flops", self.branch_flops)
+            .field_u64("branch_flops_reused", self.branch_flops_reused)
+            .field_u64("branch_contractions", self.branch_contractions)
+            .field_u64("frontier_contractions", self.frontier_contractions)
+            .field_u64("buffers_allocated", self.buffers_allocated)
+            .field_u64("buffers_reused", self.buffers_reused)
+            .field_u64("peak_bytes_in_flight", self.peak_bytes_in_flight)
+            .field_u64("predicted_peak_bytes", self.predicted_peak_bytes)
+            .field_f64("wall_seconds", self.wall_seconds)
+            .field_f64("seconds_per_subtask", self.seconds_per_subtask)
+            .field_usize("workers", self.workers);
+        obj.finish()
+    }
 }
 
 // ---------------------------------------------------------------------------

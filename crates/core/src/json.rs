@@ -1,0 +1,154 @@
+//! Dependency-free JSON emission.
+//!
+//! The container this project builds in is offline, so there is no serde;
+//! every machine-readable artifact — the `BENCH_*.json` files the benches
+//! write and the stats payloads `qtnsim-serve` reports — goes through this
+//! one tiny emitter instead of ad-hoc `format!` strings. It only *writes*
+//! JSON (the consumers are plotting scripts and dashboards, not this
+//! crate), which keeps it ~a hundred lines.
+//!
+//! ```
+//! use qtnsim_core::json::JsonObject;
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field_str("schema", "qtnsim-bench/example").field_u64("version", 1);
+//! assert_eq!(obj.finish(), r#"{"schema": "qtnsim-bench/example", "version": 1}"#);
+//! ```
+
+/// Incremental builder for one JSON object. Field methods borrow mutably and
+/// chain; [`finish`](Self::finish) closes the object and returns the string.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::from("{"), empty: true }
+    }
+
+    fn key(&mut self, key: &str) -> &mut Self {
+        if !self.empty {
+            self.buf.push_str(", ");
+        }
+        self.empty = false;
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\": ");
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Append a `usize` field.
+    pub fn field_usize(&mut self, key: &str, value: usize) -> &mut Self {
+        self.field_u64(key, value as u64)
+    }
+
+    /// Append a float field. Finite values print with round-trip precision;
+    /// non-finite values (which JSON cannot represent) become `null`.
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value:?}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Append a string field (escaped).
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(value, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Append a field whose value is already-serialized JSON (a nested
+    /// object or array produced by this module).
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the JSON string.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Join already-serialized JSON values into an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_into(s: &str, buf: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => buf.push_str(&format!("\\u{:04x}", c as u32)),
+            c => buf.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_objects_and_arrays() {
+        let mut inner = JsonObject::new();
+        inner.field_u64("b", 2);
+        let mut obj = JsonObject::new();
+        obj.field_str("a", "x")
+            .field_raw("inner", &inner.finish())
+            .field_raw("list", &array(["1".to_string(), "2".to_string()]));
+        assert_eq!(obj.finish(), r#"{"a": "x", "inner": {"b": 2}, "list": [1, 2]}"#);
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        let mut obj = JsonObject::new();
+        obj.field_f64("x", 0.1).field_f64("y", f64::NAN).field_f64("z", 3.0);
+        let json = obj.finish();
+        assert_eq!(json, r#"{"x": 0.1, "y": null, "z": 3.0}"#);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut obj = JsonObject::new();
+        obj.field_str("k", "a\"b\\c\nd\u{1}");
+        assert_eq!(obj.finish(), "{\"k\": \"a\\\"b\\\\c\\nd\\u0001\"}");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(Vec::new()), "[]");
+    }
+}

@@ -21,6 +21,7 @@
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod json;
 pub mod planner;
 pub mod pool;
 pub mod projection;
@@ -28,7 +29,7 @@ pub mod sampling;
 pub mod simulator;
 pub mod verify;
 
-pub use engine::{CompiledCircuit, Engine, ExecutionReport, OutputShape};
+pub use engine::{CacheStats, CompiledCircuit, Engine, ExecutionReport, OutputShape};
 pub use error::Error;
 pub use executor::{
     execute_amplitudes_on_pool, execute_on_pool, execute_plan, try_execute_plan, BranchCache,

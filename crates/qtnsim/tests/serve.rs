@@ -1,0 +1,254 @@
+//! Loopback integration tests for the `qtnsim-serve` amplitude service:
+//! batched responses must be **bit-identical** to direct single-shot
+//! engine execution, overload must produce explicit `Shed` backpressure
+//! frames (never dropped connections or panics), and graceful shutdown
+//! must drain every admitted request before the listener goes away.
+
+use qtnsim::circuit::{OutputSpec, RqcConfig};
+use qtnsim::{Circuit, Engine, ExecutorConfig, Gate, PlannerConfig};
+use qtnsim_serve::{BatchConfig, Client, Reply, ServeConfig, Server, ShedReason};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A 12-qubit RQC whose plan slices at target rank 8 — big enough that
+/// batching matters, small enough for a fast test.
+fn sliced_circuit(seed: u64) -> Circuit {
+    RqcConfig::small(3, 4, 10, seed).build()
+}
+
+fn planner() -> PlannerConfig {
+    PlannerConfig { target_rank: 8, ..Default::default() }
+}
+
+fn executor() -> ExecutorConfig {
+    ExecutorConfig { workers: 2, max_subtasks: 0, reuse: true, pool: true }
+}
+
+fn random_bitstrings(n: usize, count: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| (0..n).map(|_| rng.gen_range(0..2u32) as u8).collect()).collect()
+}
+
+fn config(batch: BatchConfig) -> ServeConfig {
+    ServeConfig { planner: planner(), executor: executor(), batch, ..ServeConfig::default() }
+}
+
+/// Batched service responses agree bit for bit with direct engine
+/// execution of the same circuit — coalescing is invisible to clients.
+#[test]
+fn served_amplitudes_are_bit_identical_to_direct_execution() {
+    let circuit = sliced_circuit(5);
+    let n = circuit.num_qubits();
+    let bitstrings = random_bitstrings(n, 12, 42);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config(BatchConfig {
+            max_batch: 4,
+            batch_deadline: Duration::from_millis(5),
+            max_queue: 4096,
+        }),
+    )
+    .expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Pipeline every request up front so the batcher actually coalesces.
+    let refs: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+    let mut ids = Vec::new();
+    for bits in &refs {
+        ids.push(client.send_request(&circuit, &[bits]).expect("send"));
+    }
+    let mut replies = std::collections::HashMap::new();
+    for _ in &ids {
+        let reply = client.recv_reply().expect("reply");
+        replies.insert(reply.request_id(), reply);
+    }
+
+    // Ground truth: the engine, driven directly, no service in between.
+    let engine = Engine::with_configs(planner(), executor());
+    let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+    let mut coalesced = 0u32;
+    for (id, bits) in ids.iter().zip(bitstrings.iter()) {
+        let (expected, _) = compiled.execute_amplitude(bits).unwrap();
+        match replies.remove(id) {
+            Some(Reply::Amplitudes(resp)) => {
+                assert_eq!(resp.amplitudes.len(), 1);
+                assert_eq!(
+                    resp.amplitudes[0], expected,
+                    "served amplitude must be bit-identical for {bits:?}"
+                );
+                coalesced = coalesced.max(resp.batch_size);
+            }
+            other => panic!("expected amplitudes for request {id}, got {other:?}"),
+        }
+    }
+    assert!(coalesced >= 2, "pipelined same-circuit requests should coalesce, got {coalesced}");
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.requests_completed, 12);
+    assert_eq!(snapshot.requests_shed, 0);
+    assert!(snapshot.batches_dispatched < 12, "batches must coalesce requests");
+    assert_eq!(snapshot.cache.misses, 1, "one circuit, one plan");
+}
+
+/// A multi-amplitude request is answered in bitstring order, identical to
+/// the engine's own batched execution.
+#[test]
+fn multi_amplitude_requests_preserve_order_and_identity() {
+    let circuit = sliced_circuit(7);
+    let n = circuit.num_qubits();
+    let bitstrings = random_bitstrings(n, 8, 13);
+
+    let server = Server::bind("127.0.0.1:0", config(BatchConfig::default())).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let refs: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+    let reply = client.request_amplitudes(&circuit, &refs).expect("reply");
+    let Reply::Amplitudes(resp) = reply else { panic!("expected amplitudes, got {reply:?}") };
+    assert_eq!(resp.amplitudes.len(), 8);
+
+    let engine = Engine::with_configs(planner(), executor());
+    let compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0; n])).unwrap();
+    for (bits, served) in bitstrings.iter().zip(resp.amplitudes.iter()) {
+        let (expected, _) = compiled.execute_amplitude(bits).unwrap();
+        assert_eq!(expected, *served, "order-preserving bit-identity for {bits:?}");
+    }
+    server.shutdown();
+}
+
+/// Overflowing the bounded queue produces explicit `Shed` frames with
+/// `QueueFull`; the connection survives and later requests succeed.
+#[test]
+fn overload_sheds_with_explicit_backpressure() {
+    let circuit = sliced_circuit(9);
+    let n = circuit.num_qubits();
+
+    // A queue bound of 2 amplitudes and a long deadline: the first request
+    // parks in the batcher, the oversized second one must be refused.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config(BatchConfig { max_batch: 64, batch_deadline: Duration::from_secs(5), max_queue: 2 }),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let zeros = vec![0u8; n];
+    let ones = vec![1u8; n];
+    let first = client.send_request(&circuit, &[&zeros]).expect("send");
+    let shed_id = client.send_request(&circuit, &[&zeros, &ones, &zeros]).expect("send");
+
+    // The shed reply arrives first: the parked request waits on its
+    // deadline while admission control answers immediately.
+    let reply = client.recv_reply().expect("reply");
+    assert_eq!(reply.request_id(), shed_id);
+    match reply {
+        Reply::Shed { reason, .. } => assert_eq!(reason, ShedReason::QueueFull),
+        other => panic!("expected an explicit shed, got {other:?}"),
+    }
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.requests_shed, 1);
+    assert_eq!(snapshot.requests_completed, 1, "the parked request drains, not drops");
+
+    // The drained response for the parked request was delivered before the
+    // listener went away.
+    let reply = client.recv_reply().expect("drained reply");
+    assert_eq!(reply.request_id(), first);
+    assert!(matches!(reply, Reply::Amplitudes(_)), "drained request completes: {reply:?}");
+}
+
+/// Shutdown drains in-flight batches: every admitted request gets its
+/// amplitudes even when the drain begins while they are still queued.
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let circuit = sliced_circuit(11);
+    let n = circuit.num_qubits();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config(BatchConfig {
+            max_batch: 64,
+            batch_deadline: Duration::from_secs(30),
+            max_queue: 4096,
+        }),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let bitstrings = random_bitstrings(n, 6, 3);
+    let refs: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+    let mut ids = Vec::new();
+    for bits in &refs {
+        ids.push(client.send_request(&circuit, &[bits]).expect("send"));
+    }
+
+    // Wait until the server has admitted all six (they sit in one unfilled
+    // batch behind the 30 s deadline), then drain.
+    let admitted = std::time::Instant::now();
+    while server.metrics().requests_accepted < 6 {
+        assert!(admitted.elapsed() < Duration::from_secs(10), "requests never admitted");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.requests_completed, 6);
+    assert_eq!(snapshot.drain_flushes + snapshot.deadline_flushes + snapshot.size_flushes, 1);
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in &ids {
+        let reply = client.recv_reply().expect("drained reply");
+        assert!(matches!(reply, Reply::Amplitudes(_)), "drained replies carry amplitudes");
+        seen.insert(reply.request_id());
+    }
+    assert_eq!(seen.len(), ids.len(), "every admitted request answered exactly once");
+}
+
+/// The stats endpoint reports service counters and engine stats as JSON.
+#[test]
+fn stats_endpoint_reports_service_and_engine_counters() {
+    let circuit = sliced_circuit(17);
+    let n = circuit.num_qubits();
+    let server = Server::bind("127.0.0.1:0", config(BatchConfig::default())).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let zeros = vec![0u8; n];
+    let reply = client.request_amplitudes(&circuit, &[&zeros]).expect("reply");
+    assert!(matches!(reply, Reply::Amplitudes(_)));
+
+    let json = client.stats().expect("stats");
+    for key in [
+        "\"schema\": \"qtnsim-serve/stats\"",
+        "\"requests_completed\": 1",
+        "\"batches_dispatched\": 1",
+        "\"plan_cache\"",
+        "\"plan_cache_misses\": 1",
+        "\"execution\"",
+        "\"subtasks_run\"",
+    ] {
+        assert!(json.contains(key), "stats JSON missing {key}: {json}");
+    }
+    server.shutdown();
+}
+
+/// Malformed client traffic gets a typed `Error` frame, not a panic or a
+/// wedged server; a well-formed request on a fresh connection still works.
+#[test]
+fn invalid_requests_get_typed_errors_and_the_server_survives() {
+    let server = Server::bind("127.0.0.1:0", config(BatchConfig::default())).expect("bind");
+
+    // Bitstring length disagrees with the circuit's qubit count.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut circuit = Circuit::new(2);
+    circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+    let reply = client.request_amplitudes(&circuit, &[&[0, 0, 1]]).expect("reply");
+    assert!(matches!(reply, Reply::Error { .. }), "length mismatch is a typed error: {reply:?}");
+
+    // A non-bit value in a bitstring.
+    let reply = client.request_amplitudes(&circuit, &[&[0, 2]]).expect("reply");
+    assert!(matches!(reply, Reply::Error { .. }), "non-bit values are typed errors: {reply:?}");
+
+    // The same connection still serves a valid request afterwards.
+    let reply = client.request_amplitudes(&circuit, &[&[0, 0]]).expect("reply");
+    let Reply::Amplitudes(resp) = reply else { panic!("server must survive bad requests") };
+    assert!((resp.amplitudes[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+
+    server.shutdown();
+}

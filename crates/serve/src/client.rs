@@ -1,0 +1,122 @@
+//! A small blocking client for the framed amplitude protocol.
+//!
+//! Used by the loopback integration tests and the serve bench; it is also
+//! the reference implementation for anyone speaking the protocol from
+//! another language (see the README's protocol spec).
+
+use crate::protocol::{AmplitudeResponse, Frame, ProtocolError, ShedReason};
+use qtn_circuit::Circuit;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the server said about one amplitude request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// The amplitudes, bit-identical to direct engine execution.
+    Amplitudes(AmplitudeResponse),
+    /// The request was refused with backpressure — retry later.
+    Shed {
+        /// Echoed correlation id.
+        request_id: u64,
+        /// Why the server refused.
+        reason: ShedReason,
+    },
+    /// The request failed server-side.
+    Error {
+        /// Echoed correlation id (0 when not attributable).
+        request_id: u64,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Reply {
+    fn from_frame(frame: Frame) -> Result<Reply, ProtocolError> {
+        match frame {
+            Frame::Response(resp) => Ok(Reply::Amplitudes(resp)),
+            Frame::Shed { request_id, reason } => Ok(Reply::Shed { request_id, reason }),
+            Frame::Error { request_id, message } => Ok(Reply::Error { request_id, message }),
+            _ => Err(ProtocolError::Malformed("unexpected frame kind in reply position")),
+        }
+    }
+
+    /// The correlation id this reply answers.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Reply::Amplitudes(resp) => resp.request_id,
+            Reply::Shed { request_id, .. } | Reply::Error { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// A blocking connection to a `qtnsim-serve` instance. Supports both
+/// call-and-wait ([`request_amplitudes`](Self::request_amplitudes)) and
+/// pipelined use ([`send_request`](Self::send_request) several times, then
+/// [`recv_reply`](Self::recv_reply) as responses arrive — the server may
+/// answer out of order, so match on [`Reply::request_id`]).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Queue an amplitude request without waiting; returns its id.
+    pub fn send_request(
+        &mut self,
+        circuit: &Circuit,
+        bitstrings: &[&[u8]],
+    ) -> Result<u64, ProtocolError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        Frame::Request(crate::protocol::AmplitudeRequest {
+            request_id,
+            circuit: circuit.clone(),
+            bitstrings: bitstrings.iter().map(|b| b.to_vec()).collect(),
+        })
+        .write_to(&mut self.writer)?;
+        Ok(request_id)
+    }
+
+    /// Block for the next reply frame (any request id).
+    pub fn recv_reply(&mut self) -> Result<Reply, ProtocolError> {
+        Reply::from_frame(Frame::read_from(&mut self.reader)?)
+    }
+
+    /// Send one request and block for *its* reply (skipping none — call
+    /// this only when no other requests are in flight on this connection).
+    pub fn request_amplitudes(
+        &mut self,
+        circuit: &Circuit,
+        bitstrings: &[&[u8]],
+    ) -> Result<Reply, ProtocolError> {
+        let id = self.send_request(circuit, bitstrings)?;
+        let reply = self.recv_reply()?;
+        if reply.request_id() != id {
+            return Err(ProtocolError::Malformed("reply id does not match the pending request"));
+        }
+        Ok(reply)
+    }
+
+    /// Fetch the server's metrics snapshot as JSON.
+    pub fn stats(&mut self) -> Result<String, ProtocolError> {
+        Frame::StatsRequest.write_to(&mut self.writer)?;
+        match Frame::read_from(&mut self.reader)? {
+            Frame::StatsResponse(json) => Ok(json),
+            _ => Err(ProtocolError::Malformed("expected a stats response")),
+        }
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown_server(&mut self) -> Result<(), ProtocolError> {
+        Frame::Shutdown.write_to(&mut self.writer)
+    }
+}

@@ -1,0 +1,63 @@
+//! `qtnsim-serve`: a long-running amplitude service.
+//!
+//! The paper's central economy — compile a contraction plan once, then
+//! amortize it across slices and bitstrings — is the economy of an
+//! inference server: many concurrent requests, few distinct models. This
+//! crate is the serving half of that story. It exposes the engine's
+//! compile-once internals (fingerprint-keyed sharded plan cache, batched
+//! [`qtnsim_core::CompiledCircuit::execute_amplitudes`], persistent worker
+//! pool, `memory_budget_bytes`) as a network service with:
+//!
+//! - a **framed TCP protocol** ([`protocol`]) carrying circuits and
+//!   bitstrings with exact `f64` bit patterns (the container is offline, so
+//!   the protocol is hand-rolled on `std::net` — no dependencies);
+//! - **dynamic micro-batching** ([`batcher`]): concurrent requests for the
+//!   same circuit fingerprint coalesce into one batched execution,
+//!   dispatched when the batch fills or its latency deadline expires;
+//! - **admission control**: a bounded request queue and the engine's memory
+//!   budget both shed load with explicit backpressure frames instead of
+//!   queueing unboundedly or dying;
+//! - **graceful shutdown**: draining delivers every admitted request's
+//!   response before the listener goes away;
+//! - **service metrics** ([`metrics`]): batching/shedding counters plus the
+//!   engine's aggregated [`qtnsim_core::ExecutionStats`] and plan-cache
+//!   stats, exported as JSON over a `StatsRequest` frame.
+//!
+//! Batched responses are **bit-identical** to single-shot
+//! [`qtnsim_core::CompiledCircuit::execute_amplitude`] calls — coalescing
+//! is invisible to clients except in latency and the telemetry fields.
+//!
+//! Start a server with [`Server::bind`] (or the `qtnsim-serve` binary) and
+//! talk to it with [`Client`]:
+//!
+//! ```
+//! use qtn_circuit::{Circuit, Gate};
+//! use qtnsim_serve::{Client, Reply, ServeConfig, Server};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServeConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let mut circuit = Circuit::new(2);
+//! circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+//! let reply = client.request_amplitudes(&circuit, &[&[0, 0], &[1, 1]]).unwrap();
+//! let Reply::Amplitudes(resp) = reply else { panic!("sheds only happen under load") };
+//! assert_eq!(resp.amplitudes.len(), 2);
+//! assert!((resp.amplitudes[0].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::BatchConfig;
+pub use client::{Client, Reply};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use protocol::{
+    AmplitudeRequest, AmplitudeResponse, Frame, ProtocolError, ShedReason, MAX_FRAME_LEN,
+};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,168 @@
+//! Service counters and the stats snapshot the server exports.
+
+use qtnsim_core::{CacheStats, ExecutionStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Live service counters, updated lock-free by connection handlers and
+/// dispatchers (the aggregated [`ExecutionStats`] is the one mutex, touched
+/// once per dispatched batch, not per request).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests admitted into the queue.
+    pub requests_accepted: AtomicU64,
+    /// Requests answered with amplitudes.
+    pub requests_completed: AtomicU64,
+    /// Requests refused with a `Shed` frame (queue full, memory budget, or
+    /// draining).
+    pub requests_shed: AtomicU64,
+    /// Requests answered with an `Error` frame after admission.
+    pub requests_failed: AtomicU64,
+    /// Amplitudes returned across all completed requests.
+    pub amplitudes_served: AtomicU64,
+    /// Micro-batches dispatched to the engine.
+    pub batches_dispatched: AtomicU64,
+    /// Amplitudes summed over dispatched batches (mean occupancy =
+    /// this / `batches_dispatched`).
+    pub batched_amplitudes: AtomicU64,
+    /// Batches flushed because the latency deadline expired.
+    pub deadline_flushes: AtomicU64,
+    /// Batches flushed because they reached the configured maximum size.
+    pub size_flushes: AtomicU64,
+    /// Batches flushed by shutdown drain.
+    pub drain_flushes: AtomicU64,
+    /// Microseconds the oldest entry of each dispatched batch spent queued,
+    /// summed — mean coalescing delay = this / `batches_dispatched`.
+    pub queue_micros: AtomicU64,
+    /// Aggregated engine-side execution stats over every dispatched batch.
+    pub execution: Mutex<ExecutionStats>,
+}
+
+impl ServiceMetrics {
+    /// Fold one batch execution's stats into the running aggregate.
+    pub fn absorb_execution(&self, stats: &ExecutionStats) {
+        if let Ok(mut agg) = self.execution.lock() {
+            agg.absorb(stats);
+        }
+    }
+
+    /// Capture a consistent point-in-time copy, pairing the service
+    /// counters with the engine's plan-cache counters.
+    pub fn snapshot(&self, cache: CacheStats, plans_built: usize) -> MetricsSnapshot {
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests_accepted: load(&self.requests_accepted),
+            requests_completed: load(&self.requests_completed),
+            requests_shed: load(&self.requests_shed),
+            requests_failed: load(&self.requests_failed),
+            amplitudes_served: load(&self.amplitudes_served),
+            batches_dispatched: load(&self.batches_dispatched),
+            batched_amplitudes: load(&self.batched_amplitudes),
+            deadline_flushes: load(&self.deadline_flushes),
+            size_flushes: load(&self.size_flushes),
+            drain_flushes: load(&self.drain_flushes),
+            queue_micros: load(&self.queue_micros),
+            plans_built: plans_built as u64,
+            cache,
+            execution: self.execution.lock().map(|s| s.clone()).unwrap_or_default(),
+        }
+    }
+}
+
+/// A point-in-time copy of every service metric, plus the engine's cache
+/// counters and the aggregated execution stats — what a `StatsRequest`
+/// frame returns (as JSON) and what [`crate::Server::metrics`] returns to
+/// in-process callers.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// See [`ServiceMetrics::requests_accepted`].
+    pub requests_accepted: u64,
+    /// See [`ServiceMetrics::requests_completed`].
+    pub requests_completed: u64,
+    /// See [`ServiceMetrics::requests_shed`].
+    pub requests_shed: u64,
+    /// See [`ServiceMetrics::requests_failed`].
+    pub requests_failed: u64,
+    /// See [`ServiceMetrics::amplitudes_served`].
+    pub amplitudes_served: u64,
+    /// See [`ServiceMetrics::batches_dispatched`].
+    pub batches_dispatched: u64,
+    /// See [`ServiceMetrics::batched_amplitudes`].
+    pub batched_amplitudes: u64,
+    /// See [`ServiceMetrics::deadline_flushes`].
+    pub deadline_flushes: u64,
+    /// See [`ServiceMetrics::size_flushes`].
+    pub size_flushes: u64,
+    /// See [`ServiceMetrics::drain_flushes`].
+    pub drain_flushes: u64,
+    /// See [`ServiceMetrics::queue_micros`].
+    pub queue_micros: u64,
+    /// Plans the engine built (plan-cache misses that ran the planner).
+    pub plans_built: u64,
+    /// The engine's plan-cache hit/miss/eviction counters.
+    pub cache: CacheStats,
+    /// Engine execution stats aggregated over every dispatched batch.
+    pub execution: ExecutionStats,
+}
+
+impl MetricsSnapshot {
+    /// Mean amplitudes per dispatched micro-batch (0 before any dispatch).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            0.0
+        } else {
+            self.batched_amplitudes as f64 / self.batches_dispatched as f64
+        }
+    }
+
+    /// Render the snapshot as JSON through the engine's shared emitter —
+    /// the same formatting path the `BENCH_*.json` writers use.
+    pub fn to_json(&self) -> String {
+        let mut obj = qtnsim_core::json::JsonObject::new();
+        obj.field_str("schema", "qtnsim-serve/stats")
+            .field_u64("version", 1)
+            .field_u64("requests_accepted", self.requests_accepted)
+            .field_u64("requests_completed", self.requests_completed)
+            .field_u64("requests_shed", self.requests_shed)
+            .field_u64("requests_failed", self.requests_failed)
+            .field_u64("amplitudes_served", self.amplitudes_served)
+            .field_u64("batches_dispatched", self.batches_dispatched)
+            .field_u64("batched_amplitudes", self.batched_amplitudes)
+            .field_f64("mean_batch_occupancy", self.mean_batch_occupancy())
+            .field_u64("deadline_flushes", self.deadline_flushes)
+            .field_u64("size_flushes", self.size_flushes)
+            .field_u64("drain_flushes", self.drain_flushes)
+            .field_u64("queue_micros", self.queue_micros)
+            .field_u64("plans_built", self.plans_built)
+            .field_raw("plan_cache", &self.cache.to_json())
+            .field_raw("execution", &self.execution.to_json());
+        obj.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_json_carries_service_and_engine_counters() {
+        let metrics = ServiceMetrics::default();
+        metrics.requests_accepted.store(10, Ordering::Relaxed);
+        metrics.batches_dispatched.store(4, Ordering::Relaxed);
+        metrics.batched_amplitudes.store(12, Ordering::Relaxed);
+        let stats = ExecutionStats { flops: 1234, ..Default::default() };
+        metrics.absorb_execution(&stats);
+        let snap = metrics.snapshot(CacheStats { hits: 3, misses: 1, evictions: 0 }, 1);
+        assert_eq!(snap.mean_batch_occupancy(), 3.0);
+        let json = snap.to_json();
+        for needle in [
+            "\"requests_accepted\": 10",
+            "\"mean_batch_occupancy\": 3.0",
+            "\"plan_cache_hits\": 3",
+            "\"flops\": 1234",
+            "\"schema\": \"qtnsim-serve/stats\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+}

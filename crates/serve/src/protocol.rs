@@ -1,0 +1,701 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! The build container is offline, so there is no HTTP stack to lean on;
+//! the service speaks a hand-rolled framed protocol instead, chosen over
+//! hand-rolled HTTP/1.1 because amplitude payloads are binary (exact `f64`
+//! bit patterns matter — responses are bit-identical to direct engine
+//! calls) and framing makes request pipelining trivial.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! ┌──────────────┬──────────┬────────────────────┐
+//! │ u32 LE       │ u8       │ payload            │
+//! │ payload len  │ type tag │ (len bytes)        │
+//! └──────────────┴──────────┴────────────────────┘
+//! ```
+//!
+//! | tag | frame           | payload |
+//! |-----|-----------------|---------|
+//! | 1   | `Request`       | `u64 id`, circuit, `u32 count`, then per bitstring `u32 len` + `len` bit bytes |
+//! | 2   | `Response`      | `u64 id`, `u32 count`, `count × (f64 re, f64 im)`, `u32 batch_size`, `u8 flags` (bit 0: deadline flush) |
+//! | 3   | `Shed`          | `u64 id`, `u8 reason` (1 queue full, 2 memory budget, 3 draining) |
+//! | 4   | `Error`         | `u64 id`, `u32 len`, UTF-8 message |
+//! | 5   | `StatsRequest`  | empty |
+//! | 6   | `StatsResponse` | `u32 len`, UTF-8 JSON |
+//! | 7   | `Shutdown`      | empty |
+//!
+//! All integers and floats are little-endian. A circuit is encoded as
+//! `u32 num_qubits`, `u32 num_ops`, then per op `u8 arity`,
+//! `arity × u32` target qubits and the row-major unitary matrix
+//! (`4^arity × (f64 re, f64 im)`). Gates travel as raw unitaries — exactly
+//! what [`qtn_circuit::Circuit::fingerprint`] hashes — so the fingerprint
+//! the server coalesces on is identical to the one the client's circuit
+//! would produce locally, and decoded circuits plan and execute
+//! bit-identically to the originals.
+//!
+//! Decoding never panics: truncated, oversized and garbage frames all
+//! surface as typed [`ProtocolError`]s. A malformed *payload* inside a
+//! well-delimited frame is recoverable (the stream stays in sync); a frame
+//! header that announces more than [`MAX_FRAME_LEN`] bytes is not, because
+//! the bytes cannot be safely skipped without trusting the corrupt length.
+
+use qtn_circuit::{Circuit, Gate, GateOp};
+use qtn_tensor::{c64, Complex64};
+use std::io::{Read, Write};
+
+/// Frame type tags (the `u8` after the length prefix).
+mod tag {
+    pub const REQUEST: u8 = 1;
+    pub const RESPONSE: u8 = 2;
+    pub const SHED: u8 = 3;
+    pub const ERROR: u8 = 4;
+    pub const STATS_REQUEST: u8 = 5;
+    pub const STATS_RESPONSE: u8 = 6;
+    pub const SHUTDOWN: u8 = 7;
+}
+
+/// Upper bound on a frame's payload length. Frames announcing more are
+/// rejected before any allocation — a corrupt or hostile length prefix must
+/// not OOM the server.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Hard cap on qubit counts accepted off the wire (far beyond anything the
+/// planner can contract, but it keeps decoded allocations proportional to
+/// the actual payload).
+pub const MAX_QUBITS: u32 = 4096;
+
+/// Everything that can go wrong encoding or decoding frames.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Underlying transport error. `UnexpectedEof` here means the stream
+    /// ended mid-frame (a truncated frame).
+    Io(std::io::Error),
+    /// The length prefix announced a payload larger than [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// Announced payload length.
+        len: u32,
+        /// The enforced maximum.
+        max: u32,
+    },
+    /// The type tag is not one this protocol version knows.
+    UnknownFrameType(u8),
+    /// The payload ended early or contained structurally invalid data.
+    Malformed(&'static str),
+    /// The circuit decoded but is semantically invalid (bad arity, qubit
+    /// out of range, duplicate two-qubit target, …).
+    InvalidCircuit(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte limit")
+            }
+            ProtocolError::UnknownFrameType(t) => write!(f, "unknown frame type tag {t}"),
+            ProtocolError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            ProtocolError::InvalidCircuit(what) => write!(f, "invalid circuit: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl ProtocolError {
+    /// Whether the stream is still usable after this error: a malformed
+    /// payload inside a correctly delimited frame leaves the stream in
+    /// sync, while transport errors and oversized length prefixes do not.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            ProtocolError::UnknownFrameType(_)
+                | ProtocolError::Malformed(_)
+                | ProtocolError::InvalidCircuit(_)
+        )
+    }
+}
+
+/// Why the server refused a request instead of queueing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded request queue is full — back off and retry.
+    QueueFull,
+    /// The circuit's plan exceeds the server's `memory_budget_bytes`.
+    MemoryBudget,
+    /// The server is draining for shutdown and accepts no new work.
+    Draining,
+}
+
+impl ShedReason {
+    fn to_wire(self) -> u8 {
+        match self {
+            ShedReason::QueueFull => 1,
+            ShedReason::MemoryBudget => 2,
+            ShedReason::Draining => 3,
+        }
+    }
+
+    fn from_wire(byte: u8) -> Result<Self, ProtocolError> {
+        match byte {
+            1 => Ok(ShedReason::QueueFull),
+            2 => Ok(ShedReason::MemoryBudget),
+            3 => Ok(ShedReason::Draining),
+            _ => Err(ProtocolError::Malformed("unknown shed reason")),
+        }
+    }
+}
+
+/// An amplitude request: one circuit and the bitstrings to evaluate on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeRequest {
+    /// Client-chosen correlation id, echoed on the response.
+    pub request_id: u64,
+    /// The circuit (decoded into raw-unitary gates; fingerprint-preserving).
+    pub circuit: Circuit,
+    /// Bitstrings, each `circuit.num_qubits()` bytes of 0/1.
+    pub bitstrings: Vec<Vec<u8>>,
+}
+
+/// The amplitudes for one request, plus micro-batching telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeResponse {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// One amplitude per requested bitstring, in request order.
+    pub amplitudes: Vec<Complex64>,
+    /// Total amplitudes in the micro-batch this request was dispatched in
+    /// (≥ `amplitudes.len()`; larger when requests were coalesced).
+    pub batch_size: u32,
+    /// Whether the batch was flushed by its latency deadline (as opposed to
+    /// filling up or being drained at shutdown).
+    pub deadline_flush: bool,
+}
+
+/// Every frame the protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: evaluate amplitudes.
+    Request(AmplitudeRequest),
+    /// Server → client: the amplitudes.
+    Response(AmplitudeResponse),
+    /// Server → client: request refused (backpressure), echoing the id.
+    Shed {
+        /// Echo of the refused request's correlation id.
+        request_id: u64,
+        /// Why the request was refused.
+        reason: ShedReason,
+    },
+    /// Server → client: the request failed (echoing its id, 0 if the
+    /// failure was not attributable to a request).
+    Error {
+        /// Correlation id, or 0.
+        request_id: u64,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Client → server: report service metrics.
+    StatsRequest,
+    /// Server → client: the metrics snapshot as JSON.
+    StatsResponse(String),
+    /// Client → server: drain in-flight batches and stop.
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a circuit in wire form (raw unitaries; fingerprint-preserving).
+pub fn encode_circuit(circuit: &Circuit, buf: &mut Vec<u8>) {
+    put_u32(buf, circuit.num_qubits() as u32);
+    put_u32(buf, circuit.ops().len() as u32);
+    for op in circuit.ops() {
+        buf.push(op.qubits.len() as u8);
+        for &q in &op.qubits {
+            put_u32(buf, q as u32);
+        }
+        for entry in op.gate.matrix() {
+            put_f64(buf, entry.re);
+            put_f64(buf, entry.im);
+        }
+    }
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Request(_) => tag::REQUEST,
+            Frame::Response(_) => tag::RESPONSE,
+            Frame::Shed { .. } => tag::SHED,
+            Frame::Error { .. } => tag::ERROR,
+            Frame::StatsRequest => tag::STATS_REQUEST,
+            Frame::StatsResponse(_) => tag::STATS_RESPONSE,
+            Frame::Shutdown => tag::SHUTDOWN,
+        }
+    }
+
+    /// Serialize the payload (everything after the length prefix and tag).
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            Frame::Request(req) => {
+                put_u64(buf, req.request_id);
+                encode_circuit(&req.circuit, buf);
+                put_u32(buf, req.bitstrings.len() as u32);
+                for bits in &req.bitstrings {
+                    // Length-prefixed so a wrong-length bitstring is still a
+                    // decodable request the server can refuse with a typed,
+                    // id-attributed error instead of a payload desync.
+                    put_u32(buf, bits.len() as u32);
+                    buf.extend_from_slice(bits);
+                }
+            }
+            Frame::Response(resp) => {
+                put_u64(buf, resp.request_id);
+                put_u32(buf, resp.amplitudes.len() as u32);
+                for amp in &resp.amplitudes {
+                    put_f64(buf, amp.re);
+                    put_f64(buf, amp.im);
+                }
+                put_u32(buf, resp.batch_size);
+                buf.push(resp.deadline_flush as u8);
+            }
+            Frame::Shed { request_id, reason } => {
+                put_u64(buf, *request_id);
+                buf.push(reason.to_wire());
+            }
+            Frame::Error { request_id, message } => {
+                put_u64(buf, *request_id);
+                put_u32(buf, message.len() as u32);
+                buf.extend_from_slice(message.as_bytes());
+            }
+            Frame::StatsRequest | Frame::Shutdown => {}
+            Frame::StatsResponse(json) => {
+                put_u32(buf, json.len() as u32);
+                buf.extend_from_slice(json.as_bytes());
+            }
+        }
+    }
+
+    /// Serialize the whole frame (length prefix, tag, payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        let mut frame = Vec::with_capacity(payload.len() + 5);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.push(self.tag());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Write the frame to a stream.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<(), ProtocolError> {
+        writer.write_all(&self.encode())?;
+        Ok(())
+    }
+
+    /// Read one frame from a stream. Blocks until a full frame arrives;
+    /// returns `Io(UnexpectedEof)` if the stream ends mid-frame and an
+    /// `Io` error with kind `UnexpectedEof` at a clean frame boundary too —
+    /// callers distinguish clean EOF by checking whether any header byte
+    /// arrived (see [`read_frame_or_eof`]).
+    pub fn read_from(reader: &mut impl Read) -> Result<Frame, ProtocolError> {
+        match read_frame_or_eof(reader)? {
+            Some(frame) => Ok(frame),
+            None => {
+                Err(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "stream closed").into())
+            }
+        }
+    }
+
+    /// Decode a frame from its tag and payload bytes.
+    pub fn decode(tag_byte: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut r = Reader { bytes: payload, pos: 0 };
+        let frame = match tag_byte {
+            tag::REQUEST => {
+                let request_id = r.take_u64()?;
+                let circuit = decode_circuit(&mut r)?;
+                let count = r.take_u32()? as usize;
+                let mut bitstrings = Vec::new();
+                for _ in 0..count {
+                    let len = r.take_u32()? as usize;
+                    if len > MAX_QUBITS as usize {
+                        return Err(ProtocolError::Malformed(
+                            "bitstring length exceeds MAX_QUBITS",
+                        ));
+                    }
+                    bitstrings.push(r.take_bytes(len, "bitstring bytes")?.to_vec());
+                }
+                Frame::Request(AmplitudeRequest { request_id, circuit, bitstrings })
+            }
+            tag::RESPONSE => {
+                let request_id = r.take_u64()?;
+                let count = r.take_u32()? as usize;
+                if count.checked_mul(16).is_none_or(|need| need > r.remaining()) {
+                    return Err(ProtocolError::Malformed("amplitude count exceeds payload"));
+                }
+                let mut amplitudes = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let re = r.take_f64()?;
+                    let im = r.take_f64()?;
+                    amplitudes.push(c64(re, im));
+                }
+                let batch_size = r.take_u32()?;
+                let flags = r.take_u8()?;
+                Frame::Response(AmplitudeResponse {
+                    request_id,
+                    amplitudes,
+                    batch_size,
+                    deadline_flush: flags & 1 != 0,
+                })
+            }
+            tag::SHED => {
+                let request_id = r.take_u64()?;
+                let reason = ShedReason::from_wire(r.take_u8()?)?;
+                Frame::Shed { request_id, reason }
+            }
+            tag::ERROR => {
+                let request_id = r.take_u64()?;
+                let len = r.take_u32()? as usize;
+                let bytes = r.take_bytes(len, "error message bytes")?;
+                let message = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("error message is not UTF-8"))?;
+                Frame::Error { request_id, message }
+            }
+            tag::STATS_REQUEST => Frame::StatsRequest,
+            tag::STATS_RESPONSE => {
+                let len = r.take_u32()? as usize;
+                let bytes = r.take_bytes(len, "stats payload bytes")?;
+                let json = String::from_utf8(bytes.to_vec())
+                    .map_err(|_| ProtocolError::Malformed("stats payload is not UTF-8"))?;
+                Frame::StatsResponse(json)
+            }
+            tag::SHUTDOWN => Frame::Shutdown,
+            other => return Err(ProtocolError::UnknownFrameType(other)),
+        };
+        if r.remaining() != 0 {
+            return Err(ProtocolError::Malformed("trailing bytes after payload"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Read one frame, returning `Ok(None)` on clean end-of-stream (the peer
+/// closed between frames) and `Io(UnexpectedEof)` when the stream dies
+/// mid-frame.
+pub fn read_frame_or_eof(reader: &mut impl Read) -> Result<Option<Frame>, ProtocolError> {
+    let mut header = [0u8; 5];
+    let mut filled = 0;
+    while filled < header.len() {
+        match reader.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame header",
+                )
+                .into());
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge { len, max: MAX_FRAME_LEN });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    Frame::decode(header[4], &payload).map(Some)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding helpers
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Malformed(what));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take_bytes(1, "truncated u8")?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take_bytes(4, "truncated u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take_bytes(8, "truncated u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn take_f64(&mut self) -> Result<f64, ProtocolError> {
+        let b = self.take_bytes(8, "truncated f64")?;
+        Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// Decode a wire-form circuit, validating everything `Circuit::push_op`
+/// would otherwise panic on.
+fn decode_circuit(r: &mut Reader<'_>) -> Result<Circuit, ProtocolError> {
+    let num_qubits = r.take_u32()?;
+    if num_qubits > MAX_QUBITS {
+        return Err(ProtocolError::InvalidCircuit(format!(
+            "{num_qubits} qubits exceeds the {MAX_QUBITS}-qubit limit"
+        )));
+    }
+    let num_ops = r.take_u32()? as usize;
+    let mut circuit = Circuit::new(num_qubits as usize);
+    for i in 0..num_ops {
+        let arity = r.take_u8()? as usize;
+        if arity != 1 && arity != 2 {
+            return Err(ProtocolError::InvalidCircuit(format!("op {i} has arity {arity}")));
+        }
+        let mut qubits = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let q = r.take_u32()? as usize;
+            if q >= num_qubits as usize {
+                return Err(ProtocolError::InvalidCircuit(format!(
+                    "op {i} targets qubit {q} of {num_qubits}"
+                )));
+            }
+            qubits.push(q);
+        }
+        if arity == 2 && qubits[0] == qubits[1] {
+            return Err(ProtocolError::InvalidCircuit(format!(
+                "op {i} applies a two-qubit gate to one qubit"
+            )));
+        }
+        let entries = 1usize << (2 * arity); // 4 or 16
+        let mut matrix = Vec::with_capacity(entries);
+        for _ in 0..entries {
+            let re = r.take_f64()?;
+            let im = r.take_f64()?;
+            matrix.push(c64(re, im));
+        }
+        let gate = if arity == 1 {
+            Gate::Unitary1(Box::new(matrix.try_into().expect("4 entries")))
+        } else {
+            Gate::Unitary2(Box::new(matrix.try_into().expect("16 entries")))
+        };
+        circuit.push_op(GateOp { gate, qubits });
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtn_circuit::RqcConfig;
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let bytes = frame.encode();
+        let decoded = read_frame_or_eof(&mut &bytes[..]).expect("decode").expect("some");
+        assert_eq!(decoded, frame);
+        decoded
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        // Requests are special: named gates travel as raw unitaries, so the
+        // decoded circuit is structurally different but fingerprint-equal
+        // (covered separately below). Check the non-circuit fields here.
+        let mut circuit = Circuit::new(2);
+        circuit.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let bytes = Frame::Request(AmplitudeRequest {
+            request_id: 7,
+            circuit: circuit.clone(),
+            bitstrings: vec![vec![0, 0], vec![1, 1]],
+        })
+        .encode();
+        let decoded = read_frame_or_eof(&mut &bytes[..]).expect("decode").expect("some");
+        let Frame::Request(req) = decoded else { panic!("expected a request frame") };
+        assert_eq!(req.request_id, 7);
+        assert_eq!(req.bitstrings, vec![vec![0, 0], vec![1, 1]]);
+        assert_eq!(req.circuit.fingerprint(), circuit.fingerprint());
+        roundtrip(Frame::Response(AmplitudeResponse {
+            request_id: 7,
+            amplitudes: vec![c64(0.25, -0.5), c64(f64::MIN_POSITIVE, 1.0)],
+            batch_size: 64,
+            deadline_flush: true,
+        }));
+        roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::QueueFull });
+        roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::MemoryBudget });
+        roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::Draining });
+        roundtrip(Frame::Error { request_id: 3, message: "no \"such\" circuit".into() });
+        roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::StatsResponse("{\"ok\": true}".into()));
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn decoded_circuits_preserve_the_fingerprint() {
+        // Named gates travel as raw unitaries, which is exactly what the
+        // fingerprint hashes — so coalescing keys match across the wire.
+        let circuit = RqcConfig::small(2, 3, 6, 11).build();
+        let frame = Frame::Request(AmplitudeRequest {
+            request_id: 1,
+            circuit: circuit.clone(),
+            bitstrings: vec![vec![0; circuit.num_qubits()]],
+        });
+        let bytes = frame.encode();
+        let Some(Frame::Request(decoded)) = read_frame_or_eof(&mut &bytes[..]).unwrap() else {
+            panic!("expected a request frame");
+        };
+        assert_eq!(decoded.circuit.fingerprint(), circuit.fingerprint());
+        assert_eq!(decoded.circuit.num_qubits(), circuit.num_qubits());
+        assert_eq!(decoded.circuit.len(), circuit.len());
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors_not_panics() {
+        let mut circuit = Circuit::new(1);
+        circuit.push1(Gate::H, 0);
+        let bytes =
+            Frame::Request(AmplitudeRequest { request_id: 1, circuit, bitstrings: vec![vec![0]] })
+                .encode();
+        // Clean EOF at a frame boundary is None, not an error.
+        assert!(matches!(read_frame_or_eof(&mut &bytes[..0]), Ok(None)));
+        // Every proper prefix must fail with a typed error.
+        for cut in 1..bytes.len() {
+            let err = read_frame_or_eof(&mut &bytes[..cut]).expect_err("prefix must fail");
+            assert!(
+                matches!(err, ProtocolError::Io(_) | ProtocolError::Malformed(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.push(1);
+        let err = read_frame_or_eof(&mut &bytes[..]).expect_err("oversized must fail");
+        assert!(matches!(err, ProtocolError::FrameTooLarge { .. }), "{err:?}");
+        assert!(!err.is_recoverable());
+    }
+
+    #[test]
+    fn garbage_payloads_are_typed_errors() {
+        // Unknown type tag.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(200);
+        bytes.push(0);
+        let err = read_frame_or_eof(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnknownFrameType(200)));
+        assert!(err.is_recoverable());
+
+        // A request whose declared bitstring count exceeds the payload.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // id
+        payload.extend_from_slice(&1u32.to_le_bytes()); // num_qubits
+        payload.extend_from_slice(&0u32.to_le_bytes()); // num_ops
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // bitstring count
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.push(1);
+        bytes.extend_from_slice(&payload);
+        let err = read_frame_or_eof(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed(_)), "{err:?}");
+
+        // Trailing bytes after a well-formed payload.
+        let mut bytes = Frame::Shutdown.encode();
+        bytes[0] = 1; // lie: one payload byte
+        bytes.push(0xFF);
+        let err = read_frame_or_eof(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Malformed("trailing bytes after payload")));
+    }
+
+    #[test]
+    fn invalid_circuits_are_rejected_without_panicking() {
+        let encode_request = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&1u64.to_le_bytes());
+            mutate(&mut payload);
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.push(1);
+            bytes.extend_from_slice(&payload);
+            bytes
+        };
+        // Qubit out of range.
+        let bytes = encode_request(&|p| {
+            p.extend_from_slice(&1u32.to_le_bytes()); // num_qubits = 1
+            p.extend_from_slice(&1u32.to_le_bytes()); // num_ops = 1
+            p.push(1); // arity
+            p.extend_from_slice(&9u32.to_le_bytes()); // target qubit 9
+            for _ in 0..8 {
+                p.extend_from_slice(&0f64.to_le_bytes());
+            }
+            p.extend_from_slice(&0u32.to_le_bytes()); // no bitstrings
+        });
+        let err = read_frame_or_eof(&mut &bytes[..]).unwrap_err();
+        assert!(matches!(err, ProtocolError::InvalidCircuit(_)), "{err:?}");
+        assert!(err.is_recoverable());
+        // Two-qubit gate on one qubit.
+        let bytes = encode_request(&|p| {
+            p.extend_from_slice(&2u32.to_le_bytes());
+            p.extend_from_slice(&1u32.to_le_bytes());
+            p.push(2);
+            p.extend_from_slice(&0u32.to_le_bytes());
+            p.extend_from_slice(&0u32.to_le_bytes());
+            for _ in 0..32 {
+                p.extend_from_slice(&0f64.to_le_bytes());
+            }
+            p.extend_from_slice(&0u32.to_le_bytes());
+        });
+        assert!(matches!(
+            read_frame_or_eof(&mut &bytes[..]).unwrap_err(),
+            ProtocolError::InvalidCircuit(_)
+        ));
+        // Arity 3 is not a thing.
+        let bytes = encode_request(&|p| {
+            p.extend_from_slice(&3u32.to_le_bytes());
+            p.extend_from_slice(&1u32.to_le_bytes());
+            p.push(3);
+        });
+        assert!(matches!(
+            read_frame_or_eof(&mut &bytes[..]).unwrap_err(),
+            ProtocolError::InvalidCircuit(_)
+        ));
+    }
+}

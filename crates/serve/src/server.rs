@@ -1,0 +1,401 @@
+//! The long-running amplitude service.
+//!
+//! Request lifecycle (see ARCHITECTURE.md §Serving layer for the diagram):
+//!
+//! 1. **Accept** — one acceptor thread takes TCP connections and spawns a
+//!    reader/writer thread pair per connection.
+//! 2. **Decode + compile** — the reader decodes frames and compiles each
+//!    request's circuit on the shared [`Engine`] (the sharded,
+//!    fingerprint-keyed plan cache makes repeat circuits a cheap hit, and
+//!    compiles of *different* circuits never contend on one lock).
+//! 3. **Admit + coalesce** — the request enters the per-fingerprint
+//!    micro-batch, or is refused with an explicit `Shed` frame when the
+//!    bounded queue is full, the plan busts `memory_budget_bytes`, or the
+//!    server is draining.
+//! 4. **Dispatch** — dispatcher threads claim batches that filled up or hit
+//!    their latency deadline and run **one**
+//!    [`qtnsim_core::CompiledCircuit::execute_amplitudes`] per batch, so every coalesced
+//!    request shares the StemPure prefix sweep.
+//! 5. **Reduce + respond** — the batch's amplitudes are split back per
+//!    request (order-preserving, bit-identical to single-shot execution)
+//!    and queued on each connection's writer.
+//!
+//! Shutdown ([`Server::shutdown`]) is graceful by construction: admission
+//! closes first (`Shed`/`Draining`), then dispatchers drain every pending
+//! batch and deliver its responses, and only then are connections closed
+//! and threads joined.
+
+use crate::batcher::{BatchConfig, BatchEntry, Batcher, EntryOutcome, FlushCause};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::protocol::{read_frame_or_eof, AmplitudeResponse, Frame, ShedReason};
+use qtn_circuit::OutputSpec;
+use qtnsim_core::{Engine, Error as EngineError, ExecutorConfig, PlannerConfig};
+use std::io::BufReader;
+use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Full service configuration: engine knobs plus batching/admission knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Planner configuration for the shared engine;
+    /// `memory_budget_bytes` doubles as the admission-control knob —
+    /// circuits whose plan busts it are shed, not executed.
+    pub planner: PlannerConfig,
+    /// Executor configuration for the shared engine (worker threads of the
+    /// contraction pool, reuse/pooling toggles).
+    pub executor: ExecutorConfig,
+    /// Plan-cache shards (see [`Engine::with_cache_shards`]).
+    pub cache_shards: usize,
+    /// Micro-batching and admission control.
+    pub batch: BatchConfig,
+    /// Dispatcher threads executing ready batches. One is enough on small
+    /// machines; more lets distinct circuit families execute concurrently.
+    pub dispatchers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            planner: PlannerConfig::default(),
+            executor: ExecutorConfig::default(),
+            cache_shards: 8,
+            batch: BatchConfig::default(),
+            dispatchers: 1,
+        }
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    batcher: Batcher,
+    metrics: ServiceMetrics,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+    /// Read-half clones of live connections, shut down after drain so
+    /// blocked reader threads observe EOF and exit.
+    conns: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Flip into draining mode: refuse new work, make pending batches
+    /// immediately ready, and wake the acceptor with a loopback connection.
+    fn begin_drain(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.batcher.drain();
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running amplitude service bound to a TCP address. Dropping the handle
+/// without calling [`shutdown`](Self::shutdown) leaves the threads running
+/// detached; call `shutdown` (or [`wait`](Self::wait) for remotely
+/// triggered shutdown) for a clean drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind the service and spawn its acceptor and dispatcher threads.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let engine = Engine::with_configs(config.planner.clone(), config.executor.clone())
+            .with_cache_shards(config.cache_shards);
+        let shared = Arc::new(Shared {
+            engine,
+            batcher: Batcher::new(config.batch.clone()),
+            metrics: ServiceMetrics::default(),
+            shutting_down: AtomicBool::new(false),
+            addr: local_addr,
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let dispatchers = (0..config.dispatchers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || dispatch_loop(shared))
+            })
+            .collect();
+
+        Ok(Server { shared, acceptor, dispatchers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A point-in-time metrics snapshot (the in-process equivalent of a
+    /// `StatsRequest` frame).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.engine.cache_stats(), self.shared.engine.plans_built())
+    }
+
+    /// Drain and stop: refuse new work, flush every pending micro-batch,
+    /// deliver its responses, then close connections and join all threads.
+    /// Returns the final metrics snapshot.
+    pub fn shutdown(self) -> MetricsSnapshot {
+        self.shared.begin_drain();
+        self.finish()
+    }
+
+    /// Block until a client's `Shutdown` frame triggers the drain, then
+    /// finish the same teardown as [`shutdown`](Self::shutdown).
+    pub fn wait(self) -> MetricsSnapshot {
+        self.finish()
+    }
+
+    fn finish(self) -> MetricsSnapshot {
+        // Acceptor exits once the drain flag is set and its accept call is
+        // unblocked (begin_drain connects to the listener).
+        let _ = self.acceptor.join();
+        // Dispatchers drain every pending batch, deliver responses, then
+        // see `None` and exit.
+        for d in self.dispatchers {
+            let _ = d.join();
+        }
+        // Now close the read half of every connection: blocked readers see
+        // EOF, drop their writer senders, and the writers flush out any
+        // remaining queued responses before exiting.
+        if let Ok(conns) = self.shared.conns.lock() {
+            for conn in conns.iter() {
+                let _ = conn.shutdown(SocketShutdown::Read);
+            }
+        }
+        let threads = match self.shared.conn_threads.lock() {
+            Ok(mut t) => std::mem::take(&mut *t),
+            Err(_) => Vec::new(),
+        };
+        for t in threads {
+            let _ = t.join();
+        }
+        self.shared
+            .metrics
+            .snapshot(self.shared.engine.cache_stats(), self.shared.engine.plans_built())
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let read_half = match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => continue,
+        };
+        if let Ok(mut conns) = shared.conns.lock() {
+            conns.push(read_half);
+        }
+        let shared_conn = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || connection_loop(stream, shared_conn));
+        if let Ok(mut threads) = shared.conn_threads.lock() {
+            threads.push(handle);
+        }
+    }
+}
+
+/// Per-connection reader: decodes frames, compiles circuits, admits work.
+/// Responses flow through an mpsc channel to a dedicated writer thread so
+/// dispatchers never block on a slow client socket.
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Frame>();
+    let writer = std::thread::spawn(move || {
+        let mut stream = writer_stream;
+        while let Ok(frame) = rx.recv() {
+            if frame.write_to(&mut stream).is_err() {
+                // Client went away; drain the channel so senders never block
+                // (they don't — mpsc is unbounded — but exiting early would
+                // drop queued frames on the floor anyway).
+                break;
+            }
+        }
+        let _ = stream.shutdown(SocketShutdown::Write);
+    });
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_frame_or_eof(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                if !handle_frame(frame, &tx, &shared) {
+                    break;
+                }
+            }
+            Err(err) => {
+                let _ = tx.send(Frame::Error { request_id: 0, message: err.to_string() });
+                if !err.is_recoverable() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Process one inbound frame; returns false when the connection should end.
+fn handle_frame(frame: Frame, tx: &mpsc::Sender<Frame>, shared: &Arc<Shared>) -> bool {
+    match frame {
+        Frame::Request(req) => {
+            let request_id = req.request_id;
+            let n = req.circuit.num_qubits();
+            let spec = OutputSpec::Amplitude(vec![0; n]);
+            let compiled = match shared.engine.compile(&req.circuit, &spec) {
+                Ok(compiled) => Arc::new(compiled),
+                Err(EngineError::MemoryBudgetExceeded { .. }) => {
+                    shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Frame::Shed { request_id, reason: ShedReason::MemoryBudget });
+                    return true;
+                }
+                Err(err) => {
+                    shared.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Frame::Error { request_id, message: err.to_string() });
+                    return true;
+                }
+            };
+            // Validate bitstrings before admission so malformed requests
+            // are typed errors, not batch poison that fails innocents
+            // coalesced alongside them.
+            for bits in &req.bitstrings {
+                if bits.len() != n || bits.iter().any(|&b| b > 1) {
+                    shared.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Frame::Error {
+                        request_id,
+                        message: format!("bitstrings must be {n} bytes of 0/1"),
+                    });
+                    return true;
+                }
+            }
+            if req.bitstrings.is_empty() {
+                shared.metrics.requests_accepted.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests_completed.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Frame::Response(AmplitudeResponse {
+                    request_id,
+                    amplitudes: Vec::new(),
+                    batch_size: 0,
+                    deadline_flush: false,
+                }));
+                return true;
+            }
+            let reply = tx.clone();
+            let metrics_shared = Arc::clone(shared);
+            let entry = BatchEntry {
+                bitstrings: req.bitstrings,
+                complete: Box::new(move |outcome| {
+                    let frame = match outcome {
+                        EntryOutcome::Amplitudes { amplitudes, batch_size, deadline_flush } => {
+                            let m = &metrics_shared.metrics;
+                            m.requests_completed.fetch_add(1, Ordering::Relaxed);
+                            m.amplitudes_served
+                                .fetch_add(amplitudes.len() as u64, Ordering::Relaxed);
+                            Frame::Response(AmplitudeResponse {
+                                request_id,
+                                amplitudes,
+                                batch_size,
+                                deadline_flush,
+                            })
+                        }
+                        EntryOutcome::Failed(message) => {
+                            metrics_shared.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
+                            Frame::Error { request_id, message }
+                        }
+                    };
+                    let _ = reply.send(frame);
+                }),
+            };
+            match shared.batcher.enqueue(compiled, entry) {
+                Ok(()) => {
+                    shared.metrics.requests_accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(reason) => {
+                    shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Frame::Shed { request_id, reason });
+                }
+            }
+            true
+        }
+        Frame::StatsRequest => {
+            let snapshot =
+                shared.metrics.snapshot(shared.engine.cache_stats(), shared.engine.plans_built());
+            let _ = tx.send(Frame::StatsResponse(snapshot.to_json()));
+            true
+        }
+        Frame::Shutdown => {
+            shared.begin_drain();
+            true
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // misuse; answer with a typed error and keep the stream (framing is
+        // intact).
+        Frame::Response(_) | Frame::Shed { .. } | Frame::Error { .. } | Frame::StatsResponse(_) => {
+            let _ = tx.send(Frame::Error {
+                request_id: 0,
+                message: "unexpected server-to-client frame".into(),
+            });
+            true
+        }
+    }
+}
+
+/// Dispatcher: claim ready batches, execute them, split results back out.
+fn dispatch_loop(shared: Arc<Shared>) {
+    while let Some(batch) = shared.batcher.next_batch() {
+        let m = &shared.metrics;
+        m.batches_dispatched.fetch_add(1, Ordering::Relaxed);
+        m.batched_amplitudes.fetch_add(batch.amplitudes as u64, Ordering::Relaxed);
+        m.queue_micros.fetch_add(batch.queued_for.as_micros() as u64, Ordering::Relaxed);
+        match batch.cause {
+            FlushCause::Full => m.size_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushCause::Deadline => m.deadline_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushCause::Drain => m.drain_flushes.fetch_add(1, Ordering::Relaxed),
+        };
+
+        let all_bits: Vec<&[u8]> =
+            batch.entries.iter().flat_map(|e| e.bitstrings.iter().map(Vec::as_slice)).collect();
+        match batch.compiled.execute_amplitudes(&all_bits) {
+            Ok((amplitudes, report)) => {
+                m.absorb_execution(&report.stats);
+                let deadline_flush = batch.cause == FlushCause::Deadline;
+                let batch_size = batch.amplitudes as u32;
+                let mut offset = 0;
+                for entry in batch.entries {
+                    let take = entry.bitstrings.len();
+                    let slice = amplitudes[offset..offset + take].to_vec();
+                    offset += take;
+                    (entry.complete)(EntryOutcome::Amplitudes {
+                        amplitudes: slice,
+                        batch_size,
+                        deadline_flush,
+                    });
+                }
+            }
+            Err(err) => {
+                let message = err.to_string();
+                for entry in batch.entries {
+                    (entry.complete)(EntryOutcome::Failed(message.clone()));
+                }
+            }
+        }
+    }
+}
