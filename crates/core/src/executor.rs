@@ -66,7 +66,8 @@ use crate::error::Error;
 use crate::planner::SimulationPlan;
 use crate::pool::{BufferPool, PoolCounters};
 use qtn_tensor::{
-    contract_pair, Complex64, ContractionKernel, ContractionSpec, DenseTensor, IndexId, IndexSet,
+    contract_pair, Complex64, ContractionKernel, ContractionSpec, DenseTensor, GemmPath, IndexId,
+    IndexSet,
 };
 use qtn_tensornet::NodeClass;
 use std::borrow::Cow;
@@ -176,6 +177,26 @@ pub struct ExecutionStats {
     pub branch_contractions: u64,
     /// Frontier-class pairwise contractions executed by this call.
     pub frontier_contractions: u64,
+    /// Contractions whose GEMM dispatched to a fully unrolled
+    /// rank-specialized micro-kernel (m, n ∈ {1, 2, 4}, k ∈ {2, 4, 8} — the
+    /// bond-dimension-2 hot shapes).
+    pub gemm_micro: u64,
+    /// Contractions whose GEMM degenerated to a matrix–vector product
+    /// (m == 1 or n == 1) and took the dedicated GEMV row/column kernel.
+    pub gemm_gemv: u64,
+    /// Contractions dispatched to the streaming narrow-matrix kernel.
+    pub gemm_narrow: u64,
+    /// Contractions dispatched to the packed/blocked GEMM.
+    pub gemm_blocked: u64,
+    /// Portion of the dispatched contractions that took a SIMD code path
+    /// (AVX2+FMA or NEON) instead of the scalar reference kernels. Zero
+    /// when the process dispatches at the scalar level — no SIMD hardware,
+    /// `QTNSIM_FORCE_SCALAR` set, or a test override.
+    pub gemm_simd: u64,
+    /// SIMD level the executor dispatched at (`"scalar"`, `"neon"`,
+    /// `"avx2-fma"`; see [`qtn_tensor::simd_level`]). Empty on a
+    /// default-constructed stats value.
+    pub simd_level: &'static str,
     /// Buffers the per-worker pools had to freshly allocate, summed over
     /// workers. On a cold pool this equals the plan's predicted slot count
     /// times [`workers`](Self::workers) (the worker count actually used,
@@ -241,6 +262,14 @@ impl ExecutionStats {
         self.branch_flops_reused += other.branch_flops_reused;
         self.branch_contractions += other.branch_contractions;
         self.frontier_contractions += other.frontier_contractions;
+        self.gemm_micro += other.gemm_micro;
+        self.gemm_gemv += other.gemm_gemv;
+        self.gemm_narrow += other.gemm_narrow;
+        self.gemm_blocked += other.gemm_blocked;
+        self.gemm_simd += other.gemm_simd;
+        if self.simd_level.is_empty() {
+            self.simd_level = other.simd_level;
+        }
         self.buffers_allocated += other.buffers_allocated;
         self.buffers_reused += other.buffers_reused;
         self.peak_bytes_in_flight = self.peak_bytes_in_flight.max(other.peak_bytes_in_flight);
@@ -269,6 +298,12 @@ impl ExecutionStats {
             .field_u64("branch_flops_reused", self.branch_flops_reused)
             .field_u64("branch_contractions", self.branch_contractions)
             .field_u64("frontier_contractions", self.frontier_contractions)
+            .field_u64("gemm_micro", self.gemm_micro)
+            .field_u64("gemm_gemv", self.gemm_gemv)
+            .field_u64("gemm_narrow", self.gemm_narrow)
+            .field_u64("gemm_blocked", self.gemm_blocked)
+            .field_u64("gemm_simd", self.gemm_simd)
+            .field_str("simd_level", self.simd_level)
             .field_u64("buffers_allocated", self.buffers_allocated)
             .field_u64("buffers_reused", self.buffers_reused)
             .field_u64("peak_bytes_in_flight", self.peak_bytes_in_flight)
@@ -277,6 +312,78 @@ impl ExecutionStats {
             .field_f64("seconds_per_subtask", self.seconds_per_subtask)
             .field_usize("workers", self.workers);
         obj.finish()
+    }
+
+    /// Fold a dispatch tally into the `gemm_*` counters.
+    fn apply_gemm(&mut self, tally: &GemmTally) {
+        self.gemm_micro += tally.micro;
+        self.gemm_gemv += tally.gemv;
+        self.gemm_narrow += tally.narrow;
+        self.gemm_blocked += tally.blocked;
+        self.gemm_simd += tally.simd;
+    }
+}
+
+/// Running tally of which GEMM kernel the executor's contractions dispatch
+/// to, in the buckets [`ExecutionStats`] reports. Each contraction is
+/// classified through its frozen [`qtn_tensor::KernelPlan`] — the compiled
+/// kernel of a stem-replay step, the per-call selection everywhere else —
+/// so the tally is exact per execution and never reads the process-global
+/// dispatch counters (which concurrent executions share).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GemmTally {
+    /// Rank-specialized micro-kernel dispatches.
+    pub micro: u64,
+    /// GEMV row/column dispatches.
+    pub gemv: u64,
+    /// Streaming narrow-kernel dispatches.
+    pub narrow: u64,
+    /// Packed/blocked GEMM dispatches.
+    pub blocked: u64,
+    /// Dispatches (of any class) that took a SIMD code path.
+    pub simd: u64,
+}
+
+impl GemmTally {
+    fn record(&mut self, path: GemmPath) {
+        match path {
+            GemmPath::MicroSimd => {
+                self.micro += 1;
+                self.simd += 1;
+            }
+            GemmPath::MicroScalar => self.micro += 1,
+            GemmPath::GemvRow | GemmPath::GemvCol => self.gemv += 1,
+            GemmPath::NarrowSimd => {
+                self.narrow += 1;
+                self.simd += 1;
+            }
+            GemmPath::NarrowScalar => self.narrow += 1,
+            GemmPath::BlockedSimd => {
+                self.blocked += 1;
+                self.simd += 1;
+            }
+            GemmPath::BlockedScalar => self.blocked += 1,
+        }
+    }
+
+    /// Record a contraction executed through per-call dispatch
+    /// ([`contract_pair`] selects from the spec's shape at call time).
+    fn record_spec(&mut self, spec: &ContractionSpec) {
+        self.record(spec.kernel_plan().taken::<Complex64>());
+    }
+
+    /// Record a contraction executed through a precompiled kernel (whose
+    /// dispatch was frozen at [`ContractionKernel::new`] time).
+    fn record_kernel(&mut self, kernel: &ContractionKernel) {
+        self.record(kernel.gemm_plan().taken::<Complex64>());
+    }
+
+    fn add(&mut self, other: &GemmTally) {
+        self.micro += other.micro;
+        self.gemv += other.gemv;
+        self.narrow += other.narrow;
+        self.blocked += other.blocked;
+        self.simd += other.simd;
     }
 }
 
@@ -304,6 +411,8 @@ pub struct BranchCache {
     pub flops: u64,
     /// Pairwise contractions performed building the cache.
     pub contractions: u64,
+    /// Kernel-dispatch tally of the cache build.
+    pub gemm: GemmTally,
 }
 
 impl BranchCache {
@@ -329,6 +438,7 @@ struct Frontier {
     tensors: HashMap<usize, DenseTensor<Complex64>>,
     flops: u64,
     contractions: u64,
+    gemm: GemmTally,
 }
 
 /// Fetch a contraction operand: an intermediate owned by `slots` (consumed,
@@ -364,6 +474,7 @@ fn build_branch_cache(plan: &SimulationPlan) -> Result<BranchCache, Error> {
     }
     let mut flops = 0u64;
     let mut contractions = 0u64;
+    let mut gemm = GemmTally::default();
     let empty = HashMap::new();
     for &(l, r, out) in cls.branch_schedule() {
         let a = take_operand(&mut slots, &empty, l)?;
@@ -371,6 +482,7 @@ fn build_branch_cache(plan: &SimulationPlan) -> Result<BranchCache, Error> {
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
         contractions += 1;
+        gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     let mut tensors = HashMap::with_capacity(cls.branch_keep().len());
@@ -380,7 +492,7 @@ fn build_branch_cache(plan: &SimulationPlan) -> Result<BranchCache, Error> {
             .ok_or_else(|| Error::Internal(format!("branch root {id} was not produced")))?;
         tensors.insert(id, t);
     }
-    Ok(BranchCache { tensors, flops, contractions })
+    Ok(BranchCache { tensors, flops, contractions, gemm })
 }
 
 /// Contract every Frontier-class node bottom-up, substituting the execution's
@@ -402,12 +514,14 @@ fn build_frontier(
     }
     let mut flops = 0u64;
     let mut contractions = 0u64;
+    let mut gemm = GemmTally::default();
     for &(l, r, out) in cls.frontier_schedule() {
         let a = take_operand(&mut slots, &cache.tensors, l)?;
         let b = take_operand(&mut slots, &cache.tensors, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
         contractions += 1;
+        gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     let mut tensors = HashMap::with_capacity(cls.frontier_keep().len());
@@ -417,7 +531,7 @@ fn build_frontier(
             .ok_or_else(|| Error::Internal(format!("frontier root {id} was not produced")))?;
         tensors.insert(id, t);
     }
-    Ok(Frontier { tensors, flops, contractions })
+    Ok(Frontier { tensors, flops, contractions, gemm })
 }
 
 // ---------------------------------------------------------------------------
@@ -628,6 +742,7 @@ fn run_subtask_stem_pooled(
     overrides: &LeafOverrides,
     assignment: usize,
     ws: &mut StemWorkspace,
+    gemm: &mut GemmTally,
 ) -> Result<(DenseTensor<Complex64>, u64, u64), Error> {
     let cache = cache_of(plan)?;
     let StemWorkspace { pool, counters, slots, fix_buf, root_indices } = ws;
@@ -658,6 +773,7 @@ fn run_subtask_stem_pooled(
         let mut out = pool.acquire(step.kernel.output().len(), counters);
         step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
         flops += step.kernel.flops();
+        gemm.record_kernel(&step.kernel);
         if !step.mixed {
             pure_flops += step.kernel.flops();
         }
@@ -831,6 +947,11 @@ struct ReuseState {
     /// Frontier flops/contractions executed by this call.
     frontier_flops: u64,
     frontier_contractions: u64,
+    /// Kernel-dispatch tally of the branch build executed by *this* call
+    /// (zero unless this execution built the cache).
+    branch_gemm: GemmTally,
+    /// Kernel-dispatch tally of this execution's frontier build.
+    frontier_gemm: GemmTally,
 }
 
 /// Build the branch cache (first execution only) and this execution's
@@ -896,6 +1017,8 @@ fn prepare_reuse(
         branch_contractions: if built_here { cache.contractions } else { 0 },
         frontier_flops: frontier.flops,
         frontier_contractions: frontier.contractions,
+        branch_gemm: if built_here { cache.gemm } else { GemmTally::default() },
+        frontier_gemm: frontier.gemm,
     })
 }
 
@@ -959,7 +1082,7 @@ pub fn execute_on_pool(
     // amortized share of the one-off builds.
     let sweep_start = Instant::now();
 
-    type WorkerOutcome = (DenseTensor<Complex64>, u64, u64, PoolCounters);
+    type WorkerOutcome = (DenseTensor<Complex64>, u64, u64, GemmTally, PoolCounters);
     let (tx, rx) = mpsc::channel::<(usize, Result<WorkerOutcome, Error>)>();
     for worker in 0..workers {
         let tx = tx.clone();
@@ -986,6 +1109,7 @@ pub fn execute_on_pool(
                 let mut partial = DenseTensor::<Complex64>::zeros(output_indices);
                 let mut flops = 0u64;
                 let mut pure_flops = 0u64;
+                let mut gemm = GemmTally::default();
                 // Static striding: worker w owns subtasks w, w+W, w+2W, …
                 let mut assignment = worker;
                 while assignment < run_subtasks {
@@ -993,7 +1117,7 @@ pub fn execute_on_pool(
                         (Some(exec), Some(seeds)) => {
                             let ws = ws.as_mut().expect("workspace exists with stem_exec");
                             let (result, subtask_flops, subtask_pure) = run_subtask_stem_pooled(
-                                &plan, exec, seeds, &overrides, assignment, ws,
+                                &plan, exec, seeds, &overrides, assignment, ws, &mut gemm,
                             )?;
                             flops += subtask_flops;
                             pure_flops += subtask_pure;
@@ -1006,22 +1130,23 @@ pub fn execute_on_pool(
                             ws.root_indices = Some(indices);
                         }
                         (None, Some(seeds)) => {
-                            let (result, subtask_flops, subtask_pure) =
-                                run_subtask_stem(&plan, seeds, &overrides, &sliced, assignment)?;
+                            let (result, subtask_flops, subtask_pure) = run_subtask_stem(
+                                &plan, seeds, &overrides, &sliced, assignment, &mut gemm,
+                            )?;
                             flops += subtask_flops;
                             pure_flops += subtask_pure;
                             merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
                         }
                         (_, None) => {
                             let (result, subtask_flops) =
-                                run_subtask(&plan, &overrides, &sliced, assignment)?;
+                                run_subtask(&plan, &overrides, &sliced, assignment, &mut gemm)?;
                             flops += subtask_flops;
                             merge_subtask(&mut partial, &result, &sliced_open, &sliced, assignment);
                         }
                     }
                     assignment += workers;
                 }
-                Ok((partial, flops, pure_flops))
+                Ok((partial, flops, pure_flops, gemm))
             })();
             // Return the pool regardless of the outcome: buffers still
             // sitting in the slot table of a failed replay are drained
@@ -1038,7 +1163,7 @@ pub fn execute_on_pool(
             }
             let _ = tx.send((
                 worker,
-                outcome.map(|(partial, flops, pure)| (partial, flops, pure, counters)),
+                outcome.map(|(partial, flops, pure, gemm)| (partial, flops, pure, gemm, counters)),
             ));
         }));
     }
@@ -1054,16 +1179,18 @@ pub fn execute_on_pool(
         partials[worker] = Some(outcome?);
     }
     let mut partials = partials.into_iter();
-    let (mut result, mut stem_flops, mut stem_pure_flops, mut pool_counters) = partials
-        .next()
-        .flatten()
-        .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+    let (mut result, mut stem_flops, mut stem_pure_flops, mut gemm_tally, mut pool_counters) =
+        partials
+            .next()
+            .flatten()
+            .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
     for slot in partials {
-        let (partial, worker_flops, worker_pure, worker_counters) =
+        let (partial, worker_flops, worker_pure, worker_gemm, worker_counters) =
             slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
         result.accumulate(&partial);
         stem_flops += worker_flops;
         stem_pure_flops += worker_pure;
+        gemm_tally.add(&worker_gemm);
         pool_counters.merge(&worker_counters);
     }
     let wall = start.elapsed().as_secs_f64();
@@ -1105,7 +1232,11 @@ pub fn execute_on_pool(
             .saturating_mul(run_subtasks as u64)
             .saturating_sub(state.frontier_flops)
             .saturating_sub(state.branch_flops);
+        gemm_tally.add(&state.branch_gemm);
+        gemm_tally.add(&state.frontier_gemm);
     }
+    stats.apply_gemm(&gemm_tally);
+    stats.simd_level = qtn_tensor::simd_level().as_str();
     Ok((result, stats))
 }
 
@@ -1133,6 +1264,10 @@ struct BatchReuseState {
     /// projectors once).
     frontier_flops: u64,
     frontier_contractions: u64,
+    /// Kernel-dispatch tallies executed by this call (branch zero unless
+    /// this call built the cache; frontier summed over the deduped batch).
+    branch_gemm: GemmTally,
+    frontier_gemm: GemmTally,
 }
 
 /// Pack the bits of `bits` selected by `mask` into a dedup key: bit `q` of
@@ -1161,13 +1296,13 @@ fn frontier_key(bits: &[u8], mask: u128) -> u128 {
 /// build would run, so results stay bit-identical.
 ///
 /// Returns the per-bitstring seed maps plus the executed frontier
-/// `(flops, contractions)`.
+/// `(flops, contractions, dispatch tally)`.
 fn build_frontiers_batch(
     plan: &SimulationPlan,
     cache: &BranchCache,
     bitstrings: &[Vec<u8>],
     overrides_batch: &[Arc<LeafOverrides>],
-) -> Result<(Vec<SeedMap>, u64, u64), Error> {
+) -> Result<(Vec<SeedMap>, u64, u64, GemmTally), Error> {
     let cls = &plan.classification;
     let num_nodes = plan.tree.nodes().len();
     let num_qubits = plan.build.num_qubits;
@@ -1178,6 +1313,7 @@ fn build_frontiers_batch(
         let mut seeds = Vec::with_capacity(overrides_batch.len());
         let mut flops = 0;
         let mut contractions = 0;
+        let mut gemm = GemmTally::default();
         for overrides in overrides_batch {
             let mut frontier = build_frontier(plan, cache, overrides)?;
             let mut map = HashMap::new();
@@ -1188,9 +1324,10 @@ fn build_frontiers_batch(
             }
             flops += frontier.flops;
             contractions += frontier.contractions;
+            gemm.add(&frontier.gemm);
             seeds.push(Arc::new(map));
         }
-        return Ok((seeds, flops, contractions));
+        return Ok((seeds, flops, contractions, gemm));
     }
     let qubit_of: HashMap<usize, usize> =
         plan.build.projector_leaves.iter().map(|&(q, v)| (v, q)).collect();
@@ -1226,6 +1363,7 @@ fn build_frontiers_batch(
     }
     let mut flops = 0u64;
     let mut contractions = 0u64;
+    let mut gemm = GemmTally::default();
     for &(l, r, out) in cls.frontier_schedule() {
         for bits in bitstrings {
             let key = frontier_key(bits, mask[out]);
@@ -1258,6 +1396,7 @@ fn build_frontiers_batch(
             let spec = ContractionSpec::new(a.indices(), b.indices());
             flops += spec.flops();
             contractions += 1;
+            gemm.record_spec(&spec);
             let result = contract_pair(a, b);
             values[out].insert(key, result);
         }
@@ -1286,7 +1425,7 @@ fn build_frontiers_batch(
         }
         seeds.push(Arc::new(map));
     }
-    Ok((seeds, flops, contractions))
+    Ok((seeds, flops, contractions, gemm))
 }
 
 /// Run the reuse preparation for a whole batch: the branch cache is built
@@ -1311,7 +1450,7 @@ fn prepare_reuse_batch(
         .as_ref()
         .map_err(Clone::clone)?;
 
-    let (seeds, frontier_flops, frontier_contractions) =
+    let (seeds, frontier_flops, frontier_contractions, frontier_gemm) =
         build_frontiers_batch(plan, cache, bitstrings, overrides_batch)?;
 
     let stem_exec = if pooled {
@@ -1336,6 +1475,8 @@ fn prepare_reuse_batch(
         branch_contractions: if built_here { cache.contractions } else { 0 },
         frontier_flops,
         frontier_contractions,
+        branch_gemm: if built_here { cache.gemm } else { GemmTally::default() },
+        frontier_gemm,
     })
 }
 
@@ -1352,6 +1493,7 @@ fn run_pure_prefix_pooled(
     exec: &StemExec,
     assignment: usize,
     ws: &mut StemWorkspace,
+    gemm: &mut GemmTally,
 ) -> Result<u64, Error> {
     let cache = cache_of(plan)?;
     let no_seeds = HashMap::new();
@@ -1385,6 +1527,7 @@ fn run_pure_prefix_pooled(
         let mut out = pool.acquire(step.kernel.output().len(), counters);
         step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
         flops += step.kernel.flops();
+        gemm.record_kernel(&step.kernel);
         pool.release(left_scratch, counters);
         pool.release(right_scratch, counters);
         if let Some(buf) = left_owned {
@@ -1414,6 +1557,7 @@ fn run_mixed_suffix_pooled(
     overrides: &LeafOverrides,
     assignment: usize,
     ws: &mut StemWorkspace,
+    gemm: &mut GemmTally,
 ) -> Result<(DenseTensor<Complex64>, u64), Error> {
     let cache = cache_of(plan)?;
     let cls = &plan.classification;
@@ -1467,6 +1611,7 @@ fn run_mixed_suffix_pooled(
         let mut out = pool.acquire(step.kernel.output().len(), counters);
         step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
         flops += step.kernel.flops();
+        gemm.record_kernel(&step.kernel);
         pool.release(left_scratch, counters);
         pool.release(right_scratch, counters);
         if let Some(buf) = left_owned {
@@ -1503,6 +1648,7 @@ fn run_pure_prefix(
     plan: &SimulationPlan,
     sliced: &[IndexId],
     assignment: usize,
+    gemm: &mut GemmTally,
 ) -> Result<(PureSlots, u64), Error> {
     let cls = &plan.classification;
     let cache = cache_of(plan)?;
@@ -1527,6 +1673,7 @@ fn run_pure_prefix(
         let b = stem_operand(&mut slots, &no_seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     Ok((slots, flops))
@@ -1567,6 +1714,7 @@ fn run_mixed_suffix(
     overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
+    gemm: &mut GemmTally,
 ) -> Result<(DenseTensor<Complex64>, u64), Error> {
     let cls = &plan.classification;
     let cache = cache_of(plan)?;
@@ -1589,6 +1737,7 @@ fn run_mixed_suffix(
         let b = mixed_operand(&mut slots, pure_slots, seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     slots[root]
@@ -1671,7 +1820,7 @@ pub fn execute_amplitudes_on_pool(
     let stem_exec_shared = state.stem_exec.as_ref().filter(|e| e.root_is_stem).map(Arc::clone);
     let root_is_mixed = plan.classification.root_class() == NodeClass::StemMixed;
 
-    type BatchOutcome = (Vec<DenseTensor<Complex64>>, u64, u64, PoolCounters);
+    type BatchOutcome = (Vec<DenseTensor<Complex64>>, u64, u64, GemmTally, PoolCounters);
     let (tx, rx) = mpsc::channel::<(usize, Result<BatchOutcome, Error>)>();
     for worker in 0..workers {
         let tx = tx.clone();
@@ -1691,6 +1840,7 @@ pub fn execute_amplitudes_on_pool(
                     (0..batch).map(|_| DenseTensor::zeros(output_indices.clone())).collect();
                 let mut flops = 0u64;
                 let mut pure_flops = 0u64;
+                let mut gemm = GemmTally::default();
                 let root = plan.tree.root();
                 // Static striding over slice assignments, exactly like the
                 // single path: worker w owns subtasks w, w+W, w+2W, …
@@ -1701,7 +1851,7 @@ pub fn execute_amplitudes_on_pool(
                         // suffix per bitstring on the held keep set.
                         Some(exec) => {
                             let ws = ws.as_mut().expect("workspace exists with stem_exec");
-                            let p = run_pure_prefix_pooled(&plan, exec, assignment, ws)?;
+                            let p = run_pure_prefix_pooled(&plan, exec, assignment, ws, &mut gemm)?;
                             flops += p;
                             pure_flops += p;
                             if root_is_mixed {
@@ -1713,6 +1863,7 @@ pub fn execute_amplitudes_on_pool(
                                         &overrides_all[b],
                                         assignment,
                                         ws,
+                                        &mut gemm,
                                     )?;
                                     flops += m;
                                     merge_subtask(
@@ -1763,7 +1914,8 @@ pub fn execute_amplitudes_on_pool(
                         }
                         // Unpooled (or slice-invariant) batched subtask.
                         None if plan.classification.root_class().is_stem() => {
-                            let (pure_slots, p) = run_pure_prefix(&plan, &sliced, assignment)?;
+                            let (pure_slots, p) =
+                                run_pure_prefix(&plan, &sliced, assignment, &mut gemm)?;
                             flops += p;
                             pure_flops += p;
                             if root_is_mixed {
@@ -1775,6 +1927,7 @@ pub fn execute_amplitudes_on_pool(
                                         &overrides_all[b],
                                         &sliced,
                                         assignment,
+                                        &mut gemm,
                                     )?;
                                     flops += m;
                                     merge_subtask(
@@ -1817,7 +1970,7 @@ pub fn execute_amplitudes_on_pool(
                     }
                     assignment += workers;
                 }
-                Ok((partials, flops, pure_flops))
+                Ok((partials, flops, pure_flops, gemm))
             })();
             // Return the pool regardless of the outcome, draining any
             // buffers a failed replay left behind.
@@ -1833,7 +1986,8 @@ pub fn execute_amplitudes_on_pool(
             }
             let _ = tx.send((
                 worker,
-                outcome.map(|(partials, flops, pure)| (partials, flops, pure, counters)),
+                outcome
+                    .map(|(partials, flops, pure, gemm)| (partials, flops, pure, gemm, counters)),
             ));
         }));
     }
@@ -1850,18 +2004,20 @@ pub fn execute_amplitudes_on_pool(
         worker_partials[worker] = Some(outcome?);
     }
     let mut worker_partials = worker_partials.into_iter();
-    let (mut results, mut stem_flops, mut stem_pure_flops, mut pool_counters) = worker_partials
-        .next()
-        .flatten()
-        .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+    let (mut results, mut stem_flops, mut stem_pure_flops, mut gemm_tally, mut pool_counters) =
+        worker_partials
+            .next()
+            .flatten()
+            .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
     for slot in worker_partials {
-        let (partials, worker_flops, worker_pure, worker_counters) =
+        let (partials, worker_flops, worker_pure, worker_gemm, worker_counters) =
             slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
         for (acc, partial) in results.iter_mut().zip(partials.iter()) {
             acc.accumulate(partial);
         }
         stem_flops += worker_flops;
         stem_pure_flops += worker_pure;
+        gemm_tally.add(&worker_gemm);
         pool_counters.merge(&worker_counters);
     }
     let wall = start.elapsed().as_secs_f64();
@@ -1893,7 +2049,9 @@ pub fn execute_amplitudes_on_pool(
         .saturating_mul(run_subtasks as u64)
         .saturating_sub(state.frontier_flops)
         .saturating_sub(state.branch_flops);
-    let stats = ExecutionStats {
+    gemm_tally.add(&state.branch_gemm);
+    gemm_tally.add(&state.frontier_gemm);
+    let mut stats = ExecutionStats {
         subtasks_run: run_subtasks,
         subtasks_total: total_subtasks,
         flops: stem_flops + state.frontier_flops + state.branch_flops,
@@ -1919,7 +2077,10 @@ pub fn execute_amplitudes_on_pool(
             0.0
         },
         workers,
+        ..ExecutionStats::default()
     };
+    stats.apply_gemm(&gemm_tally);
+    stats.simd_level = qtn_tensor::simd_level().as_str();
     Ok((results, stats))
 }
 
@@ -1950,6 +2111,12 @@ fn execute_amplitudes_sequentially(
         stats.branch_flops_reused += s.branch_flops_reused;
         stats.branch_contractions += s.branch_contractions;
         stats.frontier_contractions += s.frontier_contractions;
+        stats.gemm_micro += s.gemm_micro;
+        stats.gemm_gemv += s.gemm_gemv;
+        stats.gemm_narrow += s.gemm_narrow;
+        stats.gemm_blocked += s.gemm_blocked;
+        stats.gemm_simd += s.gemm_simd;
+        stats.simd_level = s.simd_level;
         stats.buffers_allocated += s.buffers_allocated;
         stats.buffers_reused += s.buffers_reused;
         stats.peak_bytes_in_flight = stats.peak_bytes_in_flight.max(s.peak_bytes_in_flight);
@@ -1994,6 +2161,7 @@ fn run_subtask(
     overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
+    gemm: &mut GemmTally,
 ) -> Result<(DenseTensor<Complex64>, u64), Error> {
     // Slots indexed by tree-node id.
     let num_nodes = plan.tree.nodes().len();
@@ -2015,6 +2183,7 @@ fn run_subtask(
             slots[r].take().ok_or_else(|| Error::Internal(format!("right operand {r} missing")))?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     slots[plan.tree.root()]
@@ -2053,6 +2222,7 @@ fn run_subtask_stem(
     overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
+    gemm: &mut GemmTally,
 ) -> Result<(DenseTensor<Complex64>, u64, u64), Error> {
     let cls = &plan.classification;
     let root = plan.tree.root();
@@ -2092,6 +2262,7 @@ fn run_subtask_stem(
         let b = stem_operand(&mut slots, seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        gemm.record_spec(&spec);
         if cls.class(out) == NodeClass::StemPure {
             pure_flops += spec.flops();
         }
@@ -2724,5 +2895,86 @@ mod tests {
         assert_eq!(stats.subtasks_run, 2);
         assert!(stats.subtasks_total > 2);
         assert!(stats.seconds_per_subtask >= 0.0);
+    }
+
+    /// Sum of the per-class dispatch counters: every executed contraction
+    /// lands in exactly one bucket.
+    fn gemm_total(stats: &ExecutionStats) -> u64 {
+        stats.gemm_micro + stats.gemm_gemv + stats.gemm_narrow + stats.gemm_blocked
+    }
+
+    #[test]
+    fn gemm_dispatch_counters_cover_every_contraction() {
+        let circuit = RqcConfig::small(3, 3, 8, 2).build();
+        let n = circuit.num_qubits();
+        let make_plan = || {
+            plan_simulation(
+                &circuit,
+                &OutputSpec::Amplitude(vec![0; n]),
+                &PlannerConfig { target_rank: 8, ..Default::default() },
+            )
+        };
+
+        // Reuse path: branch (built once) + frontier + stem-per-subtask.
+        let plan = make_plan();
+        let (_, stats) = execute_plan(&plan, &ExecutorConfig { workers: 2, ..Default::default() });
+        let stem = plan.classification.stem_schedule().len() as u64 * stats.subtasks_run as u64;
+        assert_eq!(
+            gemm_total(&stats),
+            stats.branch_contractions + stats.frontier_contractions + stem,
+        );
+        assert!(stats.gemm_simd <= gemm_total(&stats));
+        assert!(matches!(stats.simd_level, "scalar" | "neon" | "avx2-fma"));
+        assert_eq!(stats.simd_level, qtn_tensor::simd_level().as_str());
+        // At the scalar level no contraction may count as SIMD; at a SIMD
+        // level the dominant blocked/micro/narrow dispatches must.
+        if qtn_tensor::simd_level() == qtn_tensor::SimdLevel::Scalar {
+            assert_eq!(stats.gemm_simd, 0);
+        }
+
+        // Full replay: every tree contraction, every subtask — same buckets.
+        let plan = make_plan();
+        let (_, full) =
+            execute_plan(&plan, &ExecutorConfig { workers: 2, reuse: false, ..Default::default() });
+        assert_eq!(gemm_total(&full), plan.tree.schedule().len() as u64 * full.subtasks_run as u64,);
+
+        // The tally derives from frozen kernel plans, so it is deterministic
+        // across repeated executions (later runs just drop the branch part).
+        let plan = make_plan();
+        let config = ExecutorConfig { workers: 2, ..Default::default() };
+        let (_, first) = execute_plan(&plan, &config);
+        let (_, second) = execute_plan(&plan, &config);
+        assert_eq!(
+            gemm_total(&second) + first.branch_contractions,
+            gemm_total(&first),
+            "second execution re-dispatches everything but the cached branch"
+        );
+    }
+
+    #[test]
+    fn gemm_shape_histogram_matches_full_replay_dispatch() {
+        let circuit = RqcConfig::small(3, 3, 8, 3).build();
+        let n = circuit.num_qubits();
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 8, ..Default::default() },
+        );
+        let hist = plan.gemm_shape_histogram();
+        assert!(!hist.is_empty());
+        // Total weighted count = tree contractions with stem steps repeated
+        // per subtask — exactly what a full reusing execution dispatches.
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        let stem = plan.classification.stem_schedule().len() as u64;
+        let non_stem = plan.tree.schedule().len() as u64 - stem;
+        assert_eq!(total, non_stem + stem * plan.num_subtasks() as u64);
+        // Sorted by descending total flops.
+        let flops: Vec<u64> =
+            hist.iter().map(|&((m, n, k), c)| qtn_tensor::gemm::gemm_flops(m, n, k) * c).collect();
+        assert!(flops.windows(2).all(|w| w[0] >= w[1]));
+        // All bond dimensions are 2: every shape is a power of two.
+        for &((m, n, k), _) in &hist {
+            assert!(m.is_power_of_two() && n.is_power_of_two() && k.is_power_of_two());
+        }
     }
 }

@@ -33,7 +33,7 @@ pub use engine::{CacheStats, CompiledCircuit, Engine, ExecutionReport, OutputSha
 pub use error::Error;
 pub use executor::{
     execute_amplitudes_on_pool, execute_on_pool, execute_plan, try_execute_plan, BranchCache,
-    ExecutionStats, ExecutorConfig, LeafOverrides, WorkerPool,
+    ExecutionStats, ExecutorConfig, GemmTally, LeafOverrides, WorkerPool,
 };
 pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
 pub use pool::{BufferPool, PoolCounters, SharedWorkerPools};

@@ -156,6 +156,53 @@ impl SimulationPlan {
     pub fn pooled_buffers_retained(&self) -> usize {
         self.stem_pools.retained_buffers()
     }
+
+    /// Histogram of the GEMM shapes one full reusing execution of this plan
+    /// performs, weighted by how often each contraction runs: branch and
+    /// frontier contractions once, stem contractions once per slice
+    /// subtask. Shapes are derived from the tree's index sets with the
+    /// sliced edges stripped — exactly the operand sets the executor
+    /// contracts (a sliced edge is fixed to one value everywhere, so it
+    /// vanishes from every tensor; GEMM shape depends only on index-set
+    /// membership, never axis order). Returns `((m, n, k), count)` pairs
+    /// sorted by descending total flops — the real workload the `gemm`
+    /// microbenchmark sweeps.
+    pub fn gemm_shape_histogram(&self) -> Vec<((usize, usize, usize), u64)> {
+        use qtn_tensor::{ContractionSpec, IndexSet};
+        use std::collections::HashMap;
+        let sliced = &self.slicing.sliced;
+        let effective: Vec<IndexSet> = self
+            .tree
+            .nodes()
+            .iter()
+            .map(|node| {
+                IndexSet::new(
+                    node.indices
+                        .iter()
+                        .copied()
+                        .filter(|e| !sliced.contains(e))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        let subtasks = self.num_subtasks() as u64;
+        let mut hist: HashMap<(usize, usize, usize), u64> = HashMap::new();
+        for &(l, r, out) in &self.tree.schedule() {
+            let spec = ContractionSpec::new(&effective[l], &effective[r]);
+            let weight = if self.classification.class(out).is_stem() { subtasks } else { 1 };
+            *hist.entry(spec.gemm_shape()).or_insert(0) += weight;
+        }
+        let mut shapes: Vec<((usize, usize, usize), u64)> = hist.into_iter().collect();
+        shapes.sort_by_key(|&((m, n, k), count)| {
+            (
+                std::cmp::Reverse(qtn_tensor::gemm::gemm_flops(m, n, k).saturating_mul(count)),
+                m,
+                n,
+                k,
+            )
+        });
+        shapes
+    }
 }
 
 /// Plan the simulation of a circuit for the given output specification.

@@ -6,14 +6,50 @@
 //! `#[repr(C)]` structs so slices of them can be reinterpreted as interleaved
 //! real/imaginary arrays by the GEMM micro-kernels.
 
+use crate::kernels::{SimdLevel, SimdSupport};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
+/// Trait abstracting over the real component types (`f32` / `f64`).
+///
+/// The split-real packed GEMM kernels operate on planes of this type rather
+/// than on interleaved complex values, so the arithmetic they need is
+/// captured here once instead of being duplicated per precision.
+pub trait RealScalar:
+    Copy
+    + Send
+    + Sync
+    + PartialEq
+    + PartialOrd
+    + fmt::Debug
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Into<f64>
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+}
+
+impl RealScalar for f32 {
+    const ZERO: Self = 0.0;
+}
+
+impl RealScalar for f64 {
+    const ZERO: Self = 0.0;
+}
+
 /// Trait abstracting over the two complex precisions used by the simulator.
 ///
 /// It intentionally exposes only what the kernels need: ring arithmetic,
-/// conjugation, norms and conversions.
+/// conjugation, norms, conversions — plus the hooks the [`crate::kernels`]
+/// dispatcher uses to reach the per-precision SIMD GEMM paths.
 pub trait Scalar:
     Copy
     + Send
@@ -31,7 +67,7 @@ pub trait Scalar:
     + 'static
 {
     /// The underlying real type (`f32` or `f64`).
-    type Real: Copy + PartialOrd + Into<f64>;
+    type Real: RealScalar;
 
     /// Additive identity.
     fn zero() -> Self;
@@ -58,10 +94,81 @@ pub trait Scalar:
     fn mul_add(self, a: Self, b: Self) -> Self {
         self + a * b
     }
+
+    /// Real part in the native precision (no widening to `f64`).
+    fn re_native(&self) -> Self::Real;
+    /// Imaginary part in the native precision (no widening to `f64`).
+    fn im_native(&self) -> Self::Real;
+    /// Build from native-precision real and imaginary parts.
+    fn from_parts(re: Self::Real, im: Self::Real) -> Self;
+
+    /// Which GEMM dispatch classes this type accelerates at `level`.
+    ///
+    /// The default claims nothing, so exotic scalar implementations fall back
+    /// to the scalar kernels everywhere. [`crate::kernels::KernelPlan`]
+    /// consults this once per dispatch decision, which keeps the executed
+    /// path a pure function of `(shape, level, type)` — deterministic per
+    /// process.
+    #[inline]
+    fn simd_support(level: SimdLevel) -> SimdSupport {
+        let _ = level;
+        SimdSupport::default()
+    }
+
+    /// Micro-kernel on the type's SIMD path. Called only for micro shapes
+    /// and only when [`Scalar::simd_support`] reports `micro`; the default
+    /// falls back to the unrolled scalar micro-kernel.
+    #[inline]
+    fn gemm_micro_simd(
+        level: SimdLevel,
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let _ = level;
+        crate::kernels::micro_scalar(a, b, c, m, n, k);
+    }
+
+    /// Narrow-shape kernel on the type's SIMD path. Called only when
+    /// [`Scalar::simd_support`] reports `narrow`; the default falls back to
+    /// the scalar streaming kernel.
+    #[inline]
+    fn gemm_narrow_simd(
+        level: SimdLevel,
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let _ = level;
+        crate::gemm::gemm_narrow(a, b, c, m, n, k);
+    }
+
+    /// Packed/blocked kernel on the type's SIMD path. Called only when
+    /// [`Scalar::simd_support`] reports `blocked`; the default falls back to
+    /// the scalar cache-blocked kernel.
+    #[inline]
+    fn gemm_blocked_simd(
+        level: SimdLevel,
+        a: &[Self],
+        b: &[Self],
+        c: &mut [Self],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let _ = level;
+        crate::gemm::gemm(a, b, c, m, n, k);
+    }
 }
 
 macro_rules! impl_complex {
-    ($name:ident, $real:ty, $ctor:ident) => {
+    ($name:ident, $real:ty, $ctor:ident, $simd:ident) => {
         /// A complex number stored as interleaved real/imaginary parts.
         #[derive(Clone, Copy, PartialEq, Default)]
         #[repr(C)]
@@ -246,12 +353,64 @@ macro_rules! impl_complex {
             fn conj(&self) -> Self {
                 $name::conj(*self)
             }
+            #[inline(always)]
+            fn re_native(&self) -> $real {
+                self.re
+            }
+            #[inline(always)]
+            fn im_native(&self) -> $real {
+                self.im
+            }
+            #[inline(always)]
+            fn from_parts(re: $real, im: $real) -> Self {
+                Self { re, im }
+            }
+            #[inline(always)]
+            fn simd_support(level: SimdLevel) -> SimdSupport {
+                crate::kernels::simd::$simd::support(level)
+            }
+            #[inline(always)]
+            fn gemm_micro_simd(
+                level: SimdLevel,
+                a: &[Self],
+                b: &[Self],
+                c: &mut [Self],
+                m: usize,
+                n: usize,
+                k: usize,
+            ) {
+                crate::kernels::simd::$simd::micro(level, a, b, c, m, n, k)
+            }
+            #[inline(always)]
+            fn gemm_narrow_simd(
+                level: SimdLevel,
+                a: &[Self],
+                b: &[Self],
+                c: &mut [Self],
+                m: usize,
+                n: usize,
+                k: usize,
+            ) {
+                crate::kernels::simd::$simd::narrow(level, a, b, c, m, n, k)
+            }
+            #[inline(always)]
+            fn gemm_blocked_simd(
+                level: SimdLevel,
+                a: &[Self],
+                b: &[Self],
+                c: &mut [Self],
+                m: usize,
+                n: usize,
+                k: usize,
+            ) {
+                crate::kernels::simd::$simd::blocked(level, a, b, c, m, n, k)
+            }
         }
     };
 }
 
-impl_complex!(Complex64, f64, c64);
-impl_complex!(Complex32, f32, c32);
+impl_complex!(Complex64, f64, c64, c64_simd);
+impl_complex!(Complex32, f32, c32, c32_simd);
 
 impl From<Complex32> for Complex64 {
     fn from(z: Complex32) -> Self {

@@ -12,6 +12,7 @@ use crate::complex::Scalar;
 use crate::dense::DenseTensor;
 use crate::gemm::{gemm_auto, gemm_flops};
 use crate::index::{IndexId, IndexSet};
+use crate::kernels::KernelPlan;
 use crate::permute::{permutation_to_order, permute_into, PermutePlan};
 
 /// A fully resolved plan for contracting a pair of tensors.
@@ -85,6 +86,15 @@ impl ContractionSpec {
             1usize << self.right_free.len(),
             1usize << self.contracted.len(),
         )
+    }
+
+    /// The GEMM dispatch decision for this spec's shape at the process's
+    /// current SIMD level. Cheap (pure shape classification); plan builders
+    /// use it to record per-contraction dispatch tallies without running
+    /// anything.
+    pub fn kernel_plan(&self) -> KernelPlan {
+        let (m, n, k) = self.gemm_shape();
+        KernelPlan::select(m, n, k)
     }
 
     /// Real floating point operations performed by this contraction.
@@ -179,23 +189,32 @@ pub struct ContractionKernel {
     spec: ContractionSpec,
     left_plan: PermutePlan,
     right_plan: PermutePlan,
+    gemm_plan: KernelPlan,
 }
 
 impl ContractionKernel {
     /// Compile the contraction of two operand index sets (order matters: it
-    /// fixes the permutation maps).
+    /// fixes the permutation maps). The GEMM dispatch decision — shape
+    /// class and SIMD level — is frozen here, so applying the kernel never
+    /// re-probes or re-classifies.
     pub fn new(left: &IndexSet, right: &IndexSet) -> Self {
         let spec = ContractionSpec::new(left, right);
         let left_plan =
             PermutePlan::reduced(left.rank(), &permutation_to_order(left, &spec.left_order));
         let right_plan =
             PermutePlan::reduced(right.rank(), &permutation_to_order(right, &spec.right_order));
-        Self { spec, left_plan, right_plan }
+        let gemm_plan = spec.kernel_plan();
+        Self { spec, left_plan, right_plan, gemm_plan }
     }
 
     /// The underlying contraction spec.
     pub fn spec(&self) -> &ContractionSpec {
         &self.spec
+    }
+
+    /// The GEMM dispatch decision frozen at compile time.
+    pub fn gemm_plan(&self) -> KernelPlan {
+        self.gemm_plan
     }
 
     /// Index set of the output tensor.
@@ -227,7 +246,7 @@ impl ContractionKernel {
         let (m, n, k) = self.spec.gemm_shape();
         assert_eq!(out.len(), m * n, "output buffer length mismatch");
         out.fill(T::zero());
-        gemm_auto(left_scratch, right_scratch, out, m, n, k);
+        self.gemm_plan.apply(left_scratch, right_scratch, out, m, n, k);
     }
 }
 

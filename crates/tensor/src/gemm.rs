@@ -1,21 +1,36 @@
-//! Complex matrix multiplication kernels.
+//! Complex matrix multiplication kernels — the scalar reference set.
 //!
 //! Tensor contraction is lowered to GEMM (`C = A * B`) after the TTGT
-//! permutations. Two paths are provided, mirroring the discussion in §5.1 of
-//! the paper:
+//! permutations. This module holds the portable scalar kernels, mirroring
+//! the discussion in §5.1 of the paper:
 //!
 //! * [`gemm`] — a cache-blocked kernel with a 4×4 register micro-kernel,
 //!   effective for square-ish shapes;
 //! * [`gemm_narrow`] — a simple streaming kernel for the *narrow* shapes
 //!   (two of `m`, `n`, `k` ≤ 16) that dominate quantum-circuit contractions
-//!   and are bandwidth- rather than compute-bound.
+//!   and are bandwidth- rather than compute-bound;
+//! * [`gemv_row`] / [`gemv_col`] — the degenerate `m == 1` / `n == 1`
+//!   products;
+//! * [`gemm_reference`] — the naive triple loop every other path is
+//!   conformance-tested against (`crates/tensor/tests/gemm_conformance.rs`).
 //!
-//! [`gemm_auto`] dispatches between them and is what the contraction layer
-//! calls. All kernels accumulate into `C` (i.e. compute `C += A * B`), so
-//! callers zero `C` when a plain product is wanted — accumulation is exactly
-//! what slice subtask reduction needs.
+//! [`gemm_auto`] is what the contraction layer calls; it routes through the
+//! [`crate::kernels`] dispatcher, which picks a shape class (including the
+//! fully unrolled micro-kernels) and a SIMD level via the one-time hardware
+//! probe. The scalar kernels here are preserved as-is: they are both the
+//! reference oracle and the forced path under `QTNSIM_FORCE_SCALAR` /
+//! [`crate::kernels::set_simd_override`].
+//!
+//! # Accumulation contract
+//!
+//! **Every** kernel — scalar, micro, SIMD — accumulates into `C` (computes
+//! `C += A * B`) and never reads `C` beyond that. Callers zero `C` when a
+//! plain product is wanted; accumulation is exactly what slice subtask
+//! reduction needs. The conformance suite runs each path against a dirty
+//! `C` to pin this contract.
 
 use crate::complex::Scalar;
+use crate::kernels::KernelPlan;
 
 /// Threshold below which a dimension counts as "narrow" (paper: two of
 /// m, n, k less than 16 make GEMM bandwidth bound).
@@ -47,21 +62,16 @@ pub fn is_narrow(m: usize, n: usize, k: usize) -> bool {
 /// `C += A * B` with `A` of shape `m x k`, `B` of shape `k x n`, `C` of shape
 /// `m x n`, all row-major.
 ///
-/// Dispatches on the shape: degenerate `m == 1` / `n == 1` products go to
+/// Dispatches on the shape via [`KernelPlan::select`]: micro shapes go to
+/// the fully unrolled kernels, degenerate `m == 1` / `n == 1` products to
 /// the dedicated GEMV-style kernels (frontier-heavy contractions — a
 /// projector absorbed into a gate, a scalar-producing root — are dominated
 /// by these shapes), narrow shapes to the streaming kernel, everything else
-/// to the blocked kernel.
+/// to the packed/blocked kernel; compute-bound classes take the process's
+/// probed SIMD path. Callers that apply one shape many times should compile
+/// the plan once ([`crate::ContractionKernel`] does).
 pub fn gemm_auto<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
-    if m == 1 {
-        gemv_row(a, b, c, n, k);
-    } else if n == 1 {
-        gemv_col(a, b, c, m, k);
-    } else if is_narrow(m, n, k) {
-        gemm_narrow(a, b, c, m, n, k);
-    } else {
-        gemm(a, b, c, m, n, k);
-    }
+    KernelPlan::select(m, n, k).apply(a, b, c, m, n, k);
 }
 
 /// `C += a · B` for a row vector `a` of length `k`, `B` of shape `k x n`:
@@ -91,7 +101,7 @@ pub fn gemv_col<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, k: usize) {
     }
 }
 
-fn check_shapes<T>(a: &[T], b: &[T], c: &[T], m: usize, n: usize, k: usize) {
+pub(crate) fn check_shapes<T>(a: &[T], b: &[T], c: &[T], m: usize, n: usize, k: usize) {
     assert_eq!(a.len(), m * k, "A has wrong length");
     assert_eq!(b.len(), k * n, "B has wrong length");
     assert_eq!(c.len(), m * n, "C has wrong length");
@@ -99,6 +109,11 @@ fn check_shapes<T>(a: &[T], b: &[T], c: &[T], m: usize, n: usize, k: usize) {
 
 /// Streaming kernel for narrow shapes: plain triple loop ordered for
 /// sequential access of `B` and `C`.
+///
+/// `#[inline(always)]` so the AVX2+FMA twin in the kernels module compiles
+/// this same body under `#[target_feature]`; the scalar instantiation is
+/// unchanged.
+#[inline(always)]
 pub fn gemm_narrow<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
     check_shapes(a, b, c, m, n, k);
     for i in 0..m {

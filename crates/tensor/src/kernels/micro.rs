@@ -1,0 +1,152 @@
+//! Fully unrolled rank-k micro-kernels for the bond-dimension-2 hot shapes.
+//!
+//! With every bond dimension equal to 2, the GEMM shapes near the leaves of
+//! a contraction tree are tiny powers of two; the 27 shapes with
+//! `m`/`n` ∈ {1, 2, 4} and `k` ∈ {2, 4, 8} dominate the dispatch histogram
+//! of real plans. Each gets a const-generic kernel whose three loops have
+//! compile-time trip counts, so the optimizer fully unrolls them and keeps
+//! the whole accumulator set in registers — no loop control, no bounds
+//! checks after the up-front slice.
+//!
+//! The scalar instantiation iterates `i, j, p` exactly like
+//! [`crate::gemm::gemm_reference`], making it **bit-identical** to the
+//! reference kernel. The AVX2+FMA twin (x86_64) compiles the same bodies
+//! under `#[target_feature]`, which licenses fused multiply-adds — same
+//! summation order, last-bit rounding may differ (bounded by the
+//! conformance suite's ulp budget).
+
+use crate::complex::Scalar;
+
+/// `m`/`n` values covered by the micro-kernels.
+pub const MICRO_MN: [usize; 3] = [1, 2, 4];
+/// `k` values covered by the micro-kernels.
+pub const MICRO_K: [usize; 3] = [2, 4, 8];
+
+/// True if `(m, n, k)` has a dedicated fully unrolled kernel.
+#[inline(always)]
+pub fn is_micro_shape(m: usize, n: usize, k: usize) -> bool {
+    matches!(m, 1 | 2 | 4) && matches!(n, 1 | 2 | 4) && matches!(k, 2 | 4 | 8)
+}
+
+/// One unrolled kernel: `C += A * B` with compile-time shape. Summation
+/// order (`p` innermost, ascending) matches `gemm_reference`.
+#[inline(always)]
+fn kernel<T: Scalar, const M: usize, const N: usize, const K: usize>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) {
+    let a = &a[..M * K];
+    let b = &b[..K * N];
+    let c = &mut c[..M * N];
+    for i in 0..M {
+        for j in 0..N {
+            let mut acc = T::zero();
+            for p in 0..K {
+                acc += a[i * K + p] * b[p * N + j];
+            }
+            c[i * N + j] += acc;
+        }
+    }
+}
+
+macro_rules! for_each_micro_shape {
+    ($mac:ident) => {
+        $mac!(1, 1, 2);
+        $mac!(1, 1, 4);
+        $mac!(1, 1, 8);
+        $mac!(1, 2, 2);
+        $mac!(1, 2, 4);
+        $mac!(1, 2, 8);
+        $mac!(1, 4, 2);
+        $mac!(1, 4, 4);
+        $mac!(1, 4, 8);
+        $mac!(2, 1, 2);
+        $mac!(2, 1, 4);
+        $mac!(2, 1, 8);
+        $mac!(2, 2, 2);
+        $mac!(2, 2, 4);
+        $mac!(2, 2, 8);
+        $mac!(2, 4, 2);
+        $mac!(2, 4, 4);
+        $mac!(2, 4, 8);
+        $mac!(4, 1, 2);
+        $mac!(4, 1, 4);
+        $mac!(4, 1, 8);
+        $mac!(4, 2, 2);
+        $mac!(4, 2, 4);
+        $mac!(4, 2, 8);
+        $mac!(4, 4, 2);
+        $mac!(4, 4, 4);
+        $mac!(4, 4, 8);
+    };
+}
+
+/// Dispatch to the unrolled kernel for a micro shape.
+///
+/// `#[inline(always)]` so the `#[target_feature]` twins in
+/// [`super::simd`] inline the whole table (and all 27 kernels) into their
+/// AVX2+FMA compilation context.
+///
+/// # Panics
+/// If `(m, n, k)` is not a micro shape.
+#[inline(always)]
+pub(crate) fn run_scalar<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+    macro_rules! arm {
+        ($m:literal, $n:literal, $k:literal) => {
+            if m == $m && n == $n && k == $k {
+                return kernel::<T, $m, $n, $k>(a, b, c);
+            }
+        };
+    }
+    for_each_micro_shape!(arm);
+    panic!("({m}, {n}, {k}) is not a micro shape");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, Complex64};
+    use crate::gemm::gemm_reference;
+
+    #[test]
+    fn micro_shape_predicate() {
+        assert!(is_micro_shape(1, 1, 2));
+        assert!(is_micro_shape(4, 4, 8));
+        assert!(is_micro_shape(2, 4, 4));
+        assert!(!is_micro_shape(8, 4, 4)); // m = 8 not covered
+        assert!(!is_micro_shape(4, 4, 16)); // k = 16 not covered
+        assert!(!is_micro_shape(3, 2, 2)); // non-power-of-two
+        assert!(!is_micro_shape(0, 1, 2)); // degenerate
+        assert!(!is_micro_shape(2, 2, 1)); // k = 1 not covered
+    }
+
+    #[test]
+    fn scalar_micro_is_bit_identical_to_reference() {
+        for &m in &MICRO_MN {
+            for &n in &MICRO_MN {
+                for &k in &MICRO_K {
+                    let a: Vec<Complex64> =
+                        (0..m * k).map(|t| c64(0.37 * t as f64 - 1.0, 0.11 * t as f64)).collect();
+                    let b: Vec<Complex64> =
+                        (0..k * n).map(|t| c64(-0.23 * t as f64, 0.71 - 0.05 * t as f64)).collect();
+                    let dirty = c64(3.25, -1.5);
+                    let mut c_ref = vec![dirty; m * n];
+                    let mut c_micro = vec![dirty; m * n];
+                    gemm_reference(&a, &b, &mut c_ref, m, n, k);
+                    run_scalar(&a, &b, &mut c_micro, m, n, k);
+                    assert_eq!(c_micro, c_ref, "micro {m}x{n}x{k} must match reference bitwise");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a micro shape")]
+    fn non_micro_shape_panics() {
+        let a = vec![Complex64::ZERO; 3 * 2];
+        let b = vec![Complex64::ZERO; 2 * 3];
+        let mut c = vec![Complex64::ZERO; 9];
+        run_scalar(&a, &b, &mut c, 3, 3, 2);
+    }
+}

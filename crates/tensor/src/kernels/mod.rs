@@ -1,0 +1,445 @@
+//! Shape- and hardware-specialized GEMM dispatch.
+//!
+//! Every contraction in the simulator bottoms out in one complex GEMM, and
+//! because all bond dimensions are 2 the shapes are powers of two drawn from
+//! a small set per plan. This module turns that structure into a two-axis
+//! dispatch:
+//!
+//! * **Shape axis** ([`DispatchClass`]): fully unrolled micro-kernels for the
+//!   rank-2 hot shapes (`m`/`n` ∈ {1, 2, 4}, `k` ∈ {2, 4, 8}), GEMV row/col
+//!   for degenerate products, the streaming narrow kernel, and the
+//!   packed/blocked kernel for everything square-ish.
+//! * **Hardware axis** ([`SimdLevel`]): a one-time capability probe (AVX2+FMA
+//!   on x86_64, NEON on aarch64) selects split-real SIMD variants of the
+//!   compute-bound classes; the scalar kernels in [`crate::gemm`] are
+//!   preserved untouched as the reference path.
+//!
+//! A [`KernelPlan`] freezes both axes. [`crate::ContractionKernel`] resolves
+//! its plan once at compile time, so the executor's zero-alloc steady state
+//! never re-probes or re-classifies. Dispatch is a pure function of
+//! `(shape, level, scalar type)`: deterministic per process, and repeated
+//! runs are bit-identical because every kernel fixes its summation order.
+//!
+//! The probe can be overridden for testing: the `QTNSIM_FORCE_SCALAR`
+//! environment variable (read once per process) or the
+//! [`set_simd_override`] hook force the scalar reference path.
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+pub(crate) mod micro;
+mod packed;
+pub(crate) mod simd;
+
+pub use micro::{is_micro_shape, MICRO_K, MICRO_MN};
+
+/// Minimum `n` for a narrow shape to take the SIMD twin: the streaming
+/// kernel vectorizes along rows of `B`/`C`, and with fewer columns than
+/// this the twin's per-call and shuffle overhead measurably loses to the
+/// plain scalar body (see `BENCH_gemm.json`).
+pub const NARROW_SIMD_MIN_N: usize = 32;
+
+use crate::complex::Scalar;
+use crate::gemm::{check_shapes, gemm, gemm_narrow, gemv_col, gemv_row, is_narrow};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Run the fully unrolled scalar micro-kernel for a micro shape
+/// (`m`/`n` ∈ {1, 2, 4}, `k` ∈ {2, 4, 8}); panics on any other shape.
+///
+/// Its summation order matches [`crate::gemm::gemm_reference`] exactly, so
+/// the scalar micro path is bit-identical to the reference kernel.
+pub fn micro_scalar<T: Scalar>(a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+    micro::run_scalar(a, b, c, m, n, k);
+}
+
+/// SIMD capability level a GEMM dispatches at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar kernels (the reference path).
+    Scalar,
+    /// aarch64 Advanced SIMD — baseline on that architecture, so the
+    /// split-real kernels rely on auto-vectorization rather than intrinsics.
+    Neon,
+    /// x86_64 AVX2 + FMA, runtime-detected.
+    Avx2Fma,
+}
+
+impl SimdLevel {
+    /// Stable lowercase name, used in stats JSON and bench output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Neon => "neon",
+            SimdLevel::Avx2Fma => "avx2-fma",
+        }
+    }
+}
+
+#[allow(unreachable_code)]
+fn probe() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return SimdLevel::Neon;
+    }
+    SimdLevel::Scalar
+}
+
+/// The raw hardware capability probe, cached after the first call. Ignores
+/// both the environment force and the test override — use [`simd_level`] for
+/// what dispatch will actually do.
+pub fn detected_simd() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(probe)
+}
+
+fn env_force_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("QTNSIM_FORCE_SCALAR")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// Test override slot: 0 = none, 1 = Scalar, 2 = Neon, 3 = Avx2Fma.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Override the SIMD level for subsequent dispatch decisions (test hook).
+///
+/// `None` clears the override. A level the hardware probe did not report is
+/// clamped to [`SimdLevel::Scalar`] — the override can disable SIMD but
+/// never fabricate capability. Kernels compiled *before* the override
+/// (e.g. inside a [`crate::ContractionKernel`]) keep their frozen level;
+/// set the override before compiling the plan under test.
+pub fn set_simd_override(level: Option<SimdLevel>) {
+    let v = match level {
+        None => 0,
+        Some(SimdLevel::Scalar) => 1,
+        Some(SimdLevel::Neon) => 2,
+        Some(SimdLevel::Avx2Fma) => 3,
+    };
+    OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+fn clamp_to_detected(level: SimdLevel) -> SimdLevel {
+    if level == detected_simd() {
+        level
+    } else {
+        SimdLevel::Scalar
+    }
+}
+
+/// The SIMD level new dispatch decisions use: the test override if set,
+/// else [`SimdLevel::Scalar`] when `QTNSIM_FORCE_SCALAR` is in the
+/// environment, else the hardware probe. Constant per process in the
+/// absence of the test hook.
+pub fn simd_level() -> SimdLevel {
+    match OVERRIDE.load(Ordering::SeqCst) {
+        1 => return SimdLevel::Scalar,
+        2 => return clamp_to_detected(SimdLevel::Neon),
+        3 => return clamp_to_detected(SimdLevel::Avx2Fma),
+        _ => {}
+    }
+    if env_force_scalar() {
+        SimdLevel::Scalar
+    } else {
+        detected_simd()
+    }
+}
+
+/// Which dispatch classes a scalar type accelerates at a given level.
+/// Reported by [`Scalar::simd_support`]; the GEMV classes are always scalar
+/// (they are bandwidth-bound and their dot-product recurrences do not
+/// vectorize without FP reassociation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimdSupport {
+    /// SIMD variant of the unrolled micro-kernels.
+    pub micro: bool,
+    /// SIMD variant of the streaming narrow kernel.
+    pub narrow: bool,
+    /// Split-real packed/blocked kernel.
+    pub blocked: bool,
+}
+
+/// The shape class a GEMM dispatches to, decided once per
+/// [`KernelPlan::select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchClass {
+    /// Fully unrolled micro-kernel for this exact (tiny) shape.
+    Micro {
+        /// Rows of `C` (1, 2 or 4).
+        m: u8,
+        /// Columns of `C` (1, 2 or 4).
+        n: u8,
+        /// Contracted dimension (2, 4 or 8).
+        k: u8,
+    },
+    /// `m == 1`: row vector times matrix.
+    GemvRow,
+    /// `n == 1`: matrix times column vector.
+    GemvCol,
+    /// Two of `m`, `n`, `k` ≤ 16: streaming kernel.
+    Narrow,
+    /// Square-ish shapes: packed/blocked kernel.
+    Blocked,
+}
+
+/// The concrete code path one `apply` takes, combining the shape class with
+/// whether the type's SIMD variant is used. This is what the dispatch
+/// counters and `ExecutionStats` tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum GemmPath {
+    MicroSimd,
+    MicroScalar,
+    GemvRow,
+    GemvCol,
+    NarrowSimd,
+    NarrowScalar,
+    BlockedSimd,
+    BlockedScalar,
+}
+
+/// A frozen GEMM dispatch decision: shape class plus SIMD level.
+///
+/// Built once (at [`crate::ContractionKernel`] compile time for the
+/// executor's steady state) and applied to many buffers; `apply` performs no
+/// probing or classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelPlan {
+    class: DispatchClass,
+    level: SimdLevel,
+}
+
+impl KernelPlan {
+    /// Classify a shape at the process's current [`simd_level`].
+    pub fn select(m: usize, n: usize, k: usize) -> Self {
+        Self::select_with_level(m, n, k, simd_level())
+    }
+
+    /// Classify a shape at an explicit level (conformance tests pin levels
+    /// independent of the probe).
+    ///
+    /// Priority: micro shapes first (they are also narrow by the size
+    /// heuristic, but the unrolled kernels win), then the degenerate GEMV
+    /// shapes, then narrow, then blocked.
+    ///
+    /// One shape-aware SIMD demotion: the narrow SIMD twin streams rows of
+    /// `B` and `C`, so its vectorization only pays off when those rows are
+    /// long; below [`NARROW_SIMD_MIN_N`] columns the plan freezes the
+    /// scalar body instead (and the tally honestly reports a scalar path).
+    pub fn select_with_level(m: usize, n: usize, k: usize, level: SimdLevel) -> Self {
+        let mut level = level;
+        let class = if micro::is_micro_shape(m, n, k) {
+            DispatchClass::Micro { m: m as u8, n: n as u8, k: k as u8 }
+        } else if m == 1 {
+            DispatchClass::GemvRow
+        } else if n == 1 {
+            DispatchClass::GemvCol
+        } else if is_narrow(m, n, k) {
+            if n < NARROW_SIMD_MIN_N {
+                level = SimdLevel::Scalar;
+            }
+            DispatchClass::Narrow
+        } else {
+            DispatchClass::Blocked
+        };
+        Self { class, level }
+    }
+
+    /// Build a plan with an explicit class, bypassing shape classification.
+    /// The conformance suite and the gemm bench use this to force a specific
+    /// path onto a shape; the class must still be applicable (a `Micro` plan
+    /// requires a micro shape, `GemvRow` requires `m == 1`, ...).
+    pub fn forced(class: DispatchClass, level: SimdLevel) -> Self {
+        Self { class, level }
+    }
+
+    /// The shape class this plan dispatches to.
+    pub fn class(self) -> DispatchClass {
+        self.class
+    }
+
+    /// The SIMD level frozen into this plan.
+    pub fn level(self) -> SimdLevel {
+        self.level
+    }
+
+    /// The concrete path `apply::<T>` will take — a pure function of the
+    /// plan and the type, so callers (the executor's stats tally) can
+    /// account for dispatch without running anything.
+    pub fn taken<T: Scalar>(self) -> GemmPath {
+        let support = if self.level == SimdLevel::Scalar {
+            SimdSupport::default()
+        } else {
+            T::simd_support(self.level)
+        };
+        match self.class {
+            DispatchClass::Micro { .. } => {
+                if support.micro {
+                    GemmPath::MicroSimd
+                } else {
+                    GemmPath::MicroScalar
+                }
+            }
+            DispatchClass::GemvRow => GemmPath::GemvRow,
+            DispatchClass::GemvCol => GemmPath::GemvCol,
+            DispatchClass::Narrow => {
+                if support.narrow {
+                    GemmPath::NarrowSimd
+                } else {
+                    GemmPath::NarrowScalar
+                }
+            }
+            DispatchClass::Blocked => {
+                if support.blocked {
+                    GemmPath::BlockedSimd
+                } else {
+                    GemmPath::BlockedScalar
+                }
+            }
+        }
+    }
+
+    /// `C += A * B` down the frozen path. Shapes are checked, the path is
+    /// not re-derived. Every path accumulates into `C` with a fixed
+    /// summation order, so repeated applications are bit-identical.
+    pub fn apply<T: Scalar>(self, a: &[T], b: &[T], c: &mut [T], m: usize, n: usize, k: usize) {
+        check_shapes(a, b, c, m, n, k);
+        if let DispatchClass::Micro { m: mm, n: nn, k: kk } = self.class {
+            assert_eq!(
+                (mm as usize, nn as usize, kk as usize),
+                (m, n, k),
+                "micro plan applied to a different shape"
+            );
+        }
+        let path = self.taken::<T>();
+        record_path(path);
+        match path {
+            GemmPath::MicroSimd => T::gemm_micro_simd(self.level, a, b, c, m, n, k),
+            GemmPath::MicroScalar => micro::run_scalar(a, b, c, m, n, k),
+            GemmPath::GemvRow => {
+                assert_eq!(m, 1, "GemvRow plan applied to m != 1");
+                gemv_row(a, b, c, n, k)
+            }
+            GemmPath::GemvCol => {
+                assert_eq!(n, 1, "GemvCol plan applied to n != 1");
+                gemv_col(a, b, c, m, k)
+            }
+            GemmPath::NarrowSimd => T::gemm_narrow_simd(self.level, a, b, c, m, n, k),
+            GemmPath::NarrowScalar => gemm_narrow(a, b, c, m, n, k),
+            GemmPath::BlockedSimd => T::gemm_blocked_simd(self.level, a, b, c, m, n, k),
+            GemmPath::BlockedScalar => gemm(a, b, c, m, n, k),
+        }
+    }
+}
+
+/// Process-global dispatch counters, one per [`GemmPath`].
+///
+/// Relaxed atomics: cheap on the hot path, exact totals when read at a
+/// quiescent point. The conformance suite uses deltas of these to prove
+/// every dispatch path is actually exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchCounts {
+    /// Micro-kernel invocations on the SIMD path.
+    pub micro_simd: u64,
+    /// Micro-kernel invocations on the scalar path.
+    pub micro_scalar: u64,
+    /// GEMV row-vector invocations (always scalar).
+    pub gemv_row: u64,
+    /// GEMV column-vector invocations (always scalar).
+    pub gemv_col: u64,
+    /// Narrow-kernel invocations on the SIMD path.
+    pub narrow_simd: u64,
+    /// Narrow-kernel invocations on the scalar path.
+    pub narrow_scalar: u64,
+    /// Blocked-kernel invocations on the split-real SIMD path.
+    pub blocked_simd: u64,
+    /// Blocked-kernel invocations on the scalar path.
+    pub blocked_scalar: u64,
+}
+
+static MICRO_SIMD: AtomicU64 = AtomicU64::new(0);
+static MICRO_SCALAR: AtomicU64 = AtomicU64::new(0);
+static GEMV_ROW: AtomicU64 = AtomicU64::new(0);
+static GEMV_COL: AtomicU64 = AtomicU64::new(0);
+static NARROW_SIMD: AtomicU64 = AtomicU64::new(0);
+static NARROW_SCALAR: AtomicU64 = AtomicU64::new(0);
+static BLOCKED_SIMD: AtomicU64 = AtomicU64::new(0);
+static BLOCKED_SCALAR: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn record_path(path: GemmPath) {
+    let slot = match path {
+        GemmPath::MicroSimd => &MICRO_SIMD,
+        GemmPath::MicroScalar => &MICRO_SCALAR,
+        GemmPath::GemvRow => &GEMV_ROW,
+        GemmPath::GemvCol => &GEMV_COL,
+        GemmPath::NarrowSimd => &NARROW_SIMD,
+        GemmPath::NarrowScalar => &NARROW_SCALAR,
+        GemmPath::BlockedSimd => &BLOCKED_SIMD,
+        GemmPath::BlockedScalar => &BLOCKED_SCALAR,
+    };
+    slot.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the process-global dispatch counters.
+pub fn dispatch_counts() -> DispatchCounts {
+    DispatchCounts {
+        micro_simd: MICRO_SIMD.load(Ordering::Relaxed),
+        micro_scalar: MICRO_SCALAR.load(Ordering::Relaxed),
+        gemv_row: GEMV_ROW.load(Ordering::Relaxed),
+        gemv_col: GEMV_COL.load(Ordering::Relaxed),
+        narrow_simd: NARROW_SIMD.load(Ordering::Relaxed),
+        narrow_scalar: NARROW_SCALAR.load(Ordering::Relaxed),
+        blocked_simd: BLOCKED_SIMD.load(Ordering::Relaxed),
+        blocked_scalar: BLOCKED_SCALAR.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_stable() {
+        assert_eq!(detected_simd(), detected_simd());
+        assert_eq!(simd_level().as_str(), simd_level().as_str());
+    }
+
+    #[test]
+    fn override_clamps_to_detected() {
+        // A level the hardware cannot run must clamp to scalar, never
+        // fabricate capability. (Exactly one of these differs from the
+        // probe on any given machine; both asserts hold on all.)
+        for forced in [SimdLevel::Neon, SimdLevel::Avx2Fma] {
+            let clamped = clamp_to_detected(forced);
+            assert!(clamped == forced && forced == detected_simd() || clamped == SimdLevel::Scalar);
+        }
+    }
+
+    #[test]
+    fn classification_priority() {
+        use DispatchClass::*;
+        assert_eq!(KernelPlan::select(2, 2, 2).class(), Micro { m: 2, n: 2, k: 2 });
+        assert_eq!(KernelPlan::select(4, 4, 8).class(), Micro { m: 4, n: 4, k: 8 });
+        // m == 1 but k = 16 is not a micro k: GEMV row.
+        assert_eq!(KernelPlan::select(1, 4, 16).class(), GemvRow);
+        assert_eq!(KernelPlan::select(8, 1, 16).class(), GemvCol);
+        assert_eq!(KernelPlan::select(128, 4, 2).class(), Narrow);
+        assert_eq!(KernelPlan::select(64, 64, 64).class(), Blocked);
+        // Degenerate dims never panic in classification.
+        assert_eq!(KernelPlan::select(0, 64, 64).class(), Blocked);
+        assert_eq!(KernelPlan::select(1, 0, 0).class(), GemvRow);
+    }
+}

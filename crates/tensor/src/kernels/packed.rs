@@ -1,0 +1,303 @@
+//! Split-real packed/blocked complex GEMM.
+//!
+//! Interleaved complex storage defeats vectorization: a SIMD lane-wise
+//! multiply of `(re, im, re, im, ...)` vectors does not compute a complex
+//! product without shuffles. The packed kernels therefore *split* each
+//! operand panel into separate real and imaginary planes while packing it
+//! into a contiguous block-sized arena (the classic 4M split-real scheme:
+//! four real multiplies per complex multiply, chosen over 3M-Karatsuba
+//! because its `±a·b` terms map 1:1 onto FMA instructions and avoid the
+//! Karatsuba cancellation error). The inner tile then runs four
+//! plane-by-plane real GEMMs' worth of work with unit-stride loads:
+//!
+//! ```text
+//! C.re += A.re·B.re − A.im·B.im
+//! C.im += A.re·B.im + A.im·B.re
+//! ```
+//!
+//! Panels are bounded by [`PBM`]×[`PBK`] (A), [`PBK`]×[`PBN`] (B) and
+//! [`PBM`]×[`PBN`] (C), so the per-thread [`PackArena`] is O(1) — about
+//! 200 KiB at f64 — and grow-once: the executor's zero-allocation steady
+//! state stays allocation-free after the first blocked dispatch on a
+//! thread.
+//!
+//! Loop order is `j0 → p0 → i0` (pack each B panel once, stream A panels
+//! past it); for a fixed output element the `k` blocks are visited in
+//! ascending order and each block accumulates `p` ascending, so results are
+//! deterministic and repeated runs bit-identical.
+
+use crate::complex::{RealScalar, Scalar};
+
+/// A-panel rows per block.
+pub(crate) const PBM: usize = 32;
+/// B-panel columns per block.
+pub(crate) const PBN: usize = 64;
+/// Shared (contracted) dimension per block.
+pub(crate) const PBK: usize = 64;
+
+/// Grow-once scratch planes for packed panels, one per worker thread.
+pub(crate) struct PackArena<R> {
+    a_re: Vec<R>,
+    a_im: Vec<R>,
+    b_re: Vec<R>,
+    b_im: Vec<R>,
+    c_re: Vec<R>,
+    c_im: Vec<R>,
+}
+
+impl<R: RealScalar> PackArena<R> {
+    /// An empty arena; planes are sized on first use.
+    pub(crate) const fn new() -> Self {
+        Self {
+            a_re: Vec::new(),
+            a_im: Vec::new(),
+            b_re: Vec::new(),
+            b_im: Vec::new(),
+            c_re: Vec::new(),
+            c_im: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self) {
+        if self.a_re.len() < PBM * PBK {
+            self.a_re.resize(PBM * PBK, R::ZERO);
+            self.a_im.resize(PBM * PBK, R::ZERO);
+            self.b_re.resize(PBK * PBN, R::ZERO);
+            self.b_im.resize(PBK * PBN, R::ZERO);
+            self.c_re.resize(PBM * PBN, R::ZERO);
+            self.c_im.resize(PBM * PBN, R::ZERO);
+        }
+    }
+}
+
+/// Split-pack an A panel: `a[(i0+i)·k + p0+p] → planes[i·pb + p]`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pack_a<T: Scalar>(
+    a: &[T],
+    a_re: &mut [T::Real],
+    a_im: &mut [T::Real],
+    k: usize,
+    i0: usize,
+    p0: usize,
+    ib: usize,
+    pb: usize,
+) {
+    for i in 0..ib {
+        let src = &a[(i0 + i) * k + p0..(i0 + i) * k + p0 + pb];
+        let dst_re = &mut a_re[i * pb..(i + 1) * pb];
+        let dst_im = &mut a_im[i * pb..(i + 1) * pb];
+        for p in 0..pb {
+            dst_re[p] = src[p].re_native();
+            dst_im[p] = src[p].im_native();
+        }
+    }
+}
+
+/// Split-pack a B panel: `b[(p0+p)·n + j0+j] → planes[p·jb + j]`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn pack_b<T: Scalar>(
+    b: &[T],
+    b_re: &mut [T::Real],
+    b_im: &mut [T::Real],
+    n: usize,
+    p0: usize,
+    j0: usize,
+    pb: usize,
+    jb: usize,
+) {
+    for p in 0..pb {
+        let src = &b[(p0 + p) * n + j0..(p0 + p) * n + j0 + jb];
+        let dst_re = &mut b_re[p * jb..(p + 1) * jb];
+        let dst_im = &mut b_im[p * jb..(p + 1) * jb];
+        for j in 0..jb {
+            dst_re[j] = src[j].re_native();
+            dst_im[j] = src[j].im_native();
+        }
+    }
+}
+
+/// Merge the accumulated C tile planes back into interleaved `C` (`+=`).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn unpack_c<T: Scalar>(
+    c: &mut [T],
+    c_re: &[T::Real],
+    c_im: &[T::Real],
+    n: usize,
+    i0: usize,
+    j0: usize,
+    ib: usize,
+    jb: usize,
+) {
+    for i in 0..ib {
+        let dst = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + jb];
+        let src_re = &c_re[i * jb..(i + 1) * jb];
+        let src_im = &c_im[i * jb..(i + 1) * jb];
+        for j in 0..jb {
+            dst[j] += T::from_parts(src_re[j], src_im[j]);
+        }
+    }
+}
+
+/// Portable split-real tile kernel over packed planes. Written so the
+/// innermost `j` loops are unit-stride over disjoint slices — LLVM
+/// auto-vectorizes them under whatever features the enclosing compilation
+/// context enables (NEON baseline on aarch64; AVX2+FMA when inlined into a
+/// `#[target_feature]` twin).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn tile_generic<R: RealScalar>(
+    a_re: &[R],
+    a_im: &[R],
+    b_re: &[R],
+    b_im: &[R],
+    c_re: &mut [R],
+    c_im: &mut [R],
+    ib: usize,
+    jb: usize,
+    pb: usize,
+) {
+    for i in 0..ib {
+        let cr = &mut c_re[i * jb..(i + 1) * jb];
+        let ci = &mut c_im[i * jb..(i + 1) * jb];
+        for p in 0..pb {
+            let ar = a_re[i * pb + p];
+            let ai = a_im[i * pb + p];
+            let br = &b_re[p * jb..(p + 1) * jb];
+            let bi = &b_im[p * jb..(p + 1) * jb];
+            for j in 0..jb {
+                cr[j] += ar * br[j] - ai * bi[j];
+                ci[j] += ar * bi[j] + ai * br[j];
+            }
+        }
+    }
+}
+
+/// Packed/blocked driver: pack panels into `arena`, run `tile` per C tile,
+/// merge into interleaved `C`. `tile` receives
+/// `(a_re, a_im, b_re, b_im, c_re, c_im, ib, jb, pb)` with the C planes
+/// zeroed; it must accumulate `p` ascending so the overall summation order
+/// stays deterministic.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn gemm_packed_with<T, F>(
+    arena: &mut PackArena<T::Real>,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    n: usize,
+    k: usize,
+    mut tile: F,
+) where
+    T: Scalar,
+    F: FnMut(
+        &[T::Real],
+        &[T::Real],
+        &[T::Real],
+        &[T::Real],
+        &mut [T::Real],
+        &mut [T::Real],
+        usize,
+        usize,
+        usize,
+    ),
+{
+    arena.ensure();
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = PBN.min(n - j0);
+        let mut p0 = 0;
+        while p0 < k {
+            let pb = PBK.min(k - p0);
+            pack_b(b, &mut arena.b_re, &mut arena.b_im, n, p0, j0, pb, jb);
+            let mut i0 = 0;
+            while i0 < m {
+                let ib = PBM.min(m - i0);
+                pack_a(a, &mut arena.a_re, &mut arena.a_im, k, i0, p0, ib, pb);
+                arena.c_re[..ib * jb].fill(T::Real::ZERO);
+                arena.c_im[..ib * jb].fill(T::Real::ZERO);
+                tile(
+                    &arena.a_re,
+                    &arena.a_im,
+                    &arena.b_re,
+                    &arena.b_im,
+                    &mut arena.c_re,
+                    &mut arena.c_im,
+                    ib,
+                    jb,
+                    pb,
+                );
+                unpack_c(c, &arena.c_re, &arena.c_im, n, i0, j0, ib, jb);
+                i0 += PBM;
+            }
+            p0 += PBK;
+        }
+        j0 += PBN;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{c64, Complex64};
+    use crate::gemm::gemm_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<Complex64> {
+        (0..len).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn packed_generic_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut arena = PackArena::new();
+        // Shapes straddling each panel boundary, including non-multiples.
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (17, 18, 19),
+            (32, 64, 64),
+            (33, 65, 65),
+            (31, 63, 129),
+            (96, 70, 40),
+        ] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let dirty = c64(0.5, -0.5);
+            let mut c_ref = vec![dirty; m * n];
+            let mut c_pack = vec![dirty; m * n];
+            gemm_reference(&a, &b, &mut c_ref, m, n, k);
+            gemm_packed_with::<Complex64, _>(
+                &mut arena,
+                &a,
+                &b,
+                &mut c_pack,
+                m,
+                n,
+                k,
+                tile_generic,
+            );
+            for (x, y) in c_pack.iter().zip(c_ref.iter()) {
+                assert!((*x - *y).abs() < 1e-9, "packed {m}x{n}x{k}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_degenerate_dims_are_noops_or_exact() {
+        let mut arena = PackArena::new();
+        // k = 0: C must be left untouched (C += nothing).
+        let a: Vec<Complex64> = vec![];
+        let b: Vec<Complex64> = vec![];
+        let mut c = vec![c64(2.0, 3.0); 4 * 5];
+        gemm_packed_with::<Complex64, _>(&mut arena, &a, &b, &mut c, 4, 5, 0, tile_generic);
+        assert!(c.iter().all(|&z| z == c64(2.0, 3.0)));
+        // m = 0: nothing to write, must not panic.
+        let mut empty: Vec<Complex64> = vec![];
+        let b = vec![Complex64::ONE; 3 * 5];
+        gemm_packed_with::<Complex64, _>(&mut arena, &a, &b, &mut empty, 0, 5, 3, tile_generic);
+    }
+}

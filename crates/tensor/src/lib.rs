@@ -4,7 +4,8 @@
 //! it: complex scalar types, dense tensors whose bond dimensions are all 2
 //! (qubit tensor networks), tensor permutation kernels (including the
 //! recursion-formula reduced permutation map from §5.3.1 of the paper),
-//! blocked complex GEMM with a dedicated narrow-matrix path, and the
+//! blocked complex GEMM with rank-specialized micro-kernels and
+//! runtime-probed SIMD paths (AVX2+FMA / NEON — see [`kernels`]), and the
 //! Transpose-Transpose-GEMM-Transpose (TTGT) pairwise contraction that the
 //! higher-level contraction engine is built on.
 //!
@@ -19,9 +20,10 @@ pub mod convert;
 pub mod dense;
 pub mod gemm;
 pub mod index;
+pub mod kernels;
 pub mod permute;
 
-pub use complex::{c32, c64, Complex32, Complex64, Scalar};
+pub use complex::{c32, c64, Complex32, Complex64, RealScalar, Scalar};
 pub use contract::{
     contract_pair, contract_pair_into_with_spec, contract_pair_with_spec, ContractionKernel,
     ContractionSpec,
@@ -29,4 +31,8 @@ pub use contract::{
 pub use convert::{to_double, to_single};
 pub use dense::DenseTensor;
 pub use index::{IndexId, IndexSet};
+pub use kernels::{
+    detected_simd, dispatch_counts, set_simd_override, simd_level, DispatchClass, DispatchCounts,
+    GemmPath, KernelPlan, SimdLevel,
+};
 pub use permute::{permute, permute_into, PermutePlan};
