@@ -155,6 +155,35 @@ pub struct ExecutionStats {
     /// execution this equals the StemPure schedule length times the number
     /// of subtasks run — independent of the batch size.
     pub stem_pure_contractions: u64,
+    /// Portion of `stem_flops` spent on StemMixed contractions — the
+    /// slice-dependent *and* projector-dependent suffix. A batched
+    /// execution computes each mixed intermediate once per distinct
+    /// `(subtask, dependent-output-bits)` key instead of once per
+    /// bitstring, so this is the deduped bill actually executed. Zero when
+    /// reuse is off (the full replay does not classify its contractions).
+    pub stem_mixed_flops: u64,
+    /// Floating point operations a loop of single executions would have
+    /// spent replaying StemMixed contractions per bitstring but this call
+    /// avoided by keyed deduplication: the per-`(subtask, bitstring)` mixed
+    /// bill times the batch, minus the executed
+    /// [`stem_mixed_flops`](Self::stem_mixed_flops). Zero outside batched
+    /// execution.
+    pub stem_mixed_flops_reused: u64,
+    /// StemMixed pairwise contractions executed by this call. In a batched
+    /// execution every mixed contraction runs once per distinct key its
+    /// output depends on (per subtask), not once per bitstring.
+    pub stem_mixed_contractions: u64,
+    /// StemMixed pairwise contractions a per-bitstring replay would have
+    /// executed but keyed deduplication skipped (the batch shared an
+    /// already-computed intermediate). Zero outside batched execution.
+    pub stem_mixed_contractions_deduped: u64,
+    /// Sum over StemMixed contraction nodes of the number of distinct
+    /// dependent-bits keys the batch presented — the structural lower bound
+    /// on per-subtask mixed contractions. On spine-shaped mixed suffixes
+    /// (nested dependency masks) the executed
+    /// [`stem_mixed_contractions`](Self::stem_mixed_contractions) equals
+    /// exactly this times the subtasks run. Zero outside batched execution.
+    pub stem_mixed_distinct_keys: u64,
     /// Number of amplitudes this execution produced: the batch size of a
     /// batched multi-amplitude execution, 1 for single executions.
     pub amplitudes_in_batch: u64,
@@ -256,6 +285,11 @@ impl ExecutionStats {
         self.stem_pure_flops += other.stem_pure_flops;
         self.stem_pure_flops_reused += other.stem_pure_flops_reused;
         self.stem_pure_contractions += other.stem_pure_contractions;
+        self.stem_mixed_flops += other.stem_mixed_flops;
+        self.stem_mixed_flops_reused += other.stem_mixed_flops_reused;
+        self.stem_mixed_contractions += other.stem_mixed_contractions;
+        self.stem_mixed_contractions_deduped += other.stem_mixed_contractions_deduped;
+        self.stem_mixed_distinct_keys += other.stem_mixed_distinct_keys;
         self.amplitudes_in_batch += other.amplitudes_in_batch;
         self.frontier_flops += other.frontier_flops;
         self.branch_flops += other.branch_flops;
@@ -292,6 +326,11 @@ impl ExecutionStats {
             .field_u64("stem_pure_flops", self.stem_pure_flops)
             .field_u64("stem_pure_flops_reused", self.stem_pure_flops_reused)
             .field_u64("stem_pure_contractions", self.stem_pure_contractions)
+            .field_u64("stem_mixed_flops", self.stem_mixed_flops)
+            .field_u64("stem_mixed_flops_reused", self.stem_mixed_flops_reused)
+            .field_u64("stem_mixed_contractions", self.stem_mixed_contractions)
+            .field_u64("stem_mixed_contractions_deduped", self.stem_mixed_contractions_deduped)
+            .field_u64("stem_mixed_distinct_keys", self.stem_mixed_distinct_keys)
             .field_u64("amplitudes_in_batch", self.amplitudes_in_batch)
             .field_u64("frontier_flops", self.frontier_flops)
             .field_u64("branch_flops", self.branch_flops)
@@ -1227,6 +1266,9 @@ pub fn execute_on_pool(
         stats.frontier_contractions = state.frontier_contractions;
         stats.stem_pure_contractions =
             plan.classification.stem_pure_schedule().len() as u64 * run_subtasks as u64;
+        stats.stem_mixed_flops = stem_flops - stem_pure_flops;
+        stats.stem_mixed_contractions =
+            plan.classification.stem_mixed_schedule().len() as u64 * run_subtasks as u64;
         stats.flops = stem_flops + state.frontier_flops + state.branch_flops;
         stats.branch_flops_reused = per_subtask_extra
             .saturating_mul(run_subtasks as u64)
@@ -1270,18 +1312,227 @@ struct BatchReuseState {
     frontier_gemm: GemmTally,
 }
 
-/// Pack the bits of `bits` selected by `mask` into a dedup key: bit `q` of
-/// the key is `bits[q]` when qubit `q` is in the mask, 0 otherwise. Two
-/// bitstrings with equal keys are indistinguishable to any tensor whose
-/// subtree touches only the masked qubits.
-fn frontier_key(bits: &[u8], mask: u128) -> u128 {
-    let mut key = 0u128;
-    for (q, &bit) in bits.iter().enumerate() {
-        if (mask >> q) & 1 == 1 && bit & 1 == 1 {
-            key |= 1 << q;
+/// A dependent-bits deduplication key: the output bits a node's subtree
+/// depends on, packed *compactly* — bit `j` of the key is the bitstring's
+/// value at the `j`-th set ordinal of the node's dependency mask,
+/// ascending. Two bitstrings with equal keys are indistinguishable to any
+/// tensor whose subtree touches only the masked projectors. Nodes
+/// depending on up to 128 projector ordinals pack into one `u128`; wider
+/// dependency cones (wide-output circuits) spill into boxed words, so
+/// dedup never degrades to per-bitstring rebuilds no matter how many
+/// qubits the circuit measures.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum DepKey {
+    Packed(u128),
+    Wide(Box<[u128]>),
+}
+
+/// Pack one bitstring's dependent bits for a node. `ordinals` lists the
+/// node's dependency-mask ordinals ascending (see
+/// [`qtn_tensornet::ProjectorMasks`]); `ordinal_bits[i]` is the
+/// bitstring's value at projector ordinal `i`.
+fn pack_dep_key(ordinals: &[usize], ordinal_bits: &[u8]) -> DepKey {
+    if ordinals.len() <= 128 {
+        let mut key = 0u128;
+        for (j, &ord) in ordinals.iter().enumerate() {
+            key |= ((ordinal_bits[ord] & 1) as u128) << j;
+        }
+        DepKey::Packed(key)
+    } else {
+        let mut words = vec![0u128; ordinals.len().div_ceil(128)];
+        for (j, &ord) in ordinals.iter().enumerate() {
+            words[j / 128] |= ((ordinal_bits[ord] & 1) as u128) << (j % 128);
+        }
+        DepKey::Wide(words.into_boxed_slice())
+    }
+}
+
+/// One bitstring's values at every projector ordinal: `result[i]` is the
+/// output bit of the qubit `plan.build.projector_leaves[i]` measures — the
+/// ordinal order [`classify_nodes`](qtn_tensornet::classify_nodes) (and so
+/// every dependency mask) is defined over.
+fn ordinal_bits_of(plan: &SimulationPlan, bits: &[u8]) -> Vec<u8> {
+    plan.build
+        .projector_leaves
+        .iter()
+        .map(|&(q, _)| bits.get(q).copied().unwrap_or(0) & 1)
+        .collect()
+}
+
+/// The dependency-mask ordinals of every tree node, ascending, from the
+/// plan's classification.
+fn node_ordinals_of(plan: &SimulationPlan) -> Vec<Vec<usize>> {
+    let masks = plan.classification.projector_masks();
+    (0..plan.tree.nodes().len()).map(|n| masks.ordinals(n).collect()).collect()
+}
+
+/// Precomputed keyed-dedup tables for the StemMixed suffix of one batched
+/// execution, shared read-only by every worker. For each StemMixed node
+/// (leaf or contraction output) every bitstring's dependent-bits key is
+/// interned to a dense id, and the batch is sorted so bitstrings with equal
+/// key prefixes are adjacent: the executor keeps a single-entry
+/// (most-recent-key) cache per node, which on spine-shaped suffixes (nested
+/// dependency masks, where the heavy mixed contractions live) recomputes
+/// each node exactly once per distinct key it has in the batch.
+struct MixedDedup {
+    /// Bitstring indices in processing order: lexicographically sorted by
+    /// the per-node key ids taken in mixed-schedule order, with submission
+    /// order as the stable tie-break. Reordering within a subtask is safe —
+    /// every bitstring accumulates into its own partial, and partials still
+    /// merge subtasks in ascending-assignment order per worker, exactly
+    /// like a loop of singles.
+    order: Vec<usize>,
+    /// Per tree node: each bitstring's interned key id (`None` for nodes
+    /// outside the mixed suffix).
+    key_ids: Vec<Option<Vec<u32>>>,
+    /// Sum over StemMixed *contraction* nodes of the number of distinct
+    /// keys in the batch — the per-subtask floor on mixed contractions, and
+    /// exactly what the sorted single-entry cache achieves on spines.
+    distinct_contraction_keys: u64,
+}
+
+/// One worker's StemMixed-suffix tally for a batched execution: what the
+/// keyed cache executed and what it skipped. Executed + skipped always
+/// equals `mixed schedule length × bitstrings × subtasks run` — the exact
+/// mixed bill a loop of single executions pays.
+#[derive(Debug, Default, Clone, Copy)]
+struct MixedTally {
+    flops: u64,
+    contractions: u64,
+    skipped_flops: u64,
+    skipped_contractions: u64,
+}
+
+impl MixedTally {
+    fn merge(&mut self, other: &MixedTally) {
+        self.flops += other.flops;
+        self.contractions += other.contractions;
+        self.skipped_flops += other.skipped_flops;
+        self.skipped_contractions += other.skipped_contractions;
+    }
+}
+
+/// Build the [`MixedDedup`] tables for a batch on a plan whose root is
+/// StemMixed.
+fn build_mixed_dedup(plan: &SimulationPlan, bitstrings: &[Vec<u8>]) -> MixedDedup {
+    let cls = &plan.classification;
+    let batch = bitstrings.len();
+    let num_nodes = plan.tree.nodes().len();
+    let node_ordinals = node_ordinals_of(plan);
+    let batch_ordinal_bits: Vec<Vec<u8>> =
+        bitstrings.iter().map(|bits| ordinal_bits_of(plan, bits)).collect();
+
+    let mut key_ids: Vec<Option<Vec<u32>>> = vec![None; num_nodes];
+    let mut distinct: Vec<u32> = vec![0; num_nodes];
+    for node in 0..num_nodes {
+        if cls.class(node) != NodeClass::StemMixed {
+            continue;
+        }
+        let mut interned: HashMap<DepKey, u32> = HashMap::new();
+        let mut ids = Vec::with_capacity(batch);
+        for ob in &batch_ordinal_bits {
+            let key = pack_dep_key(&node_ordinals[node], ob);
+            let next = interned.len() as u32;
+            ids.push(*interned.entry(key).or_insert(next));
+        }
+        distinct[node] = interned.len() as u32;
+        key_ids[node] = Some(ids);
+    }
+
+    let outs: Vec<usize> = cls.stem_mixed_schedule().iter().map(|&(_, _, out)| out).collect();
+    let distinct_contraction_keys = outs.iter().map(|&o| distinct[o] as u64).sum();
+    // Sort priority. Processing order never affects correctness (a node
+    // recomputes exactly when its key differs from what its buffer holds,
+    // children before parents), only how often the single-entry caches miss
+    // — so group the batch around the nodes where a miss costs the most.
+    //
+    // Dependency masks form a *laminar* family (each is the union of its
+    // children's), so arrange the distinct masks as a containment forest
+    // and emit them in cost-weighted post-order: within a chain the
+    // narrowest mask sorts first — then a wider mask's keys are refined by
+    // the narrower one's groups, and since a wide key determines every
+    // sub-key, **all** chain nodes simultaneously hit their distinct-key
+    // floor. Disjoint subtrees inevitably fragment each other, so the
+    // heavier subtree gets the outer (unfragmented) sort position.
+    let masks = cls.projector_masks();
+    let cost_of = |out: usize| -> u64 {
+        let &(l, r, _) = cls
+            .stem_mixed_schedule()
+            .iter()
+            .find(|&&(_, _, o)| o == out)
+            .expect("out comes from the mixed schedule");
+        let left = &plan.tree.node(l).indices;
+        let right = &plan.tree.node(r).indices;
+        let union = left.len() + right.iter().filter(|e| !left.contains(*e)).count();
+        1u64 << union.min(60)
+    };
+    // Group schedule outs by identical mask, accumulating structural cost.
+    let mut groups: Vec<(Vec<u64>, Vec<usize>, u64)> = Vec::new();
+    for &out in &outs {
+        let words = masks.mask(out).to_vec();
+        match groups.iter_mut().find(|(w, _, _)| *w == words) {
+            Some((_, members, cost)) => {
+                members.push(out);
+                *cost += cost_of(out);
+            }
+            None => groups.push((words, vec![out], cost_of(out))),
         }
     }
-    key
+    let subset = |a: &[u64], b: &[u64]| a.iter().zip(b).all(|(x, y)| x & !y == 0);
+    let popcount = |w: &[u64]| w.iter().map(|x| x.count_ones() as u64).sum::<u64>();
+    // Minimal strict superset = laminar parent (supersets form a chain).
+    let parent: Vec<Option<usize>> = (0..groups.len())
+        .map(|i| {
+            (0..groups.len())
+                .filter(|&j| j != i && subset(&groups[i].0, &groups[j].0))
+                .min_by_key(|&j| popcount(&groups[j].0))
+        })
+        .collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); groups.len()];
+    let mut forest_roots: Vec<usize> = Vec::new();
+    for (i, p) in parent.iter().enumerate() {
+        match p {
+            Some(p) => children[*p].push(i),
+            None => forest_roots.push(i),
+        }
+    }
+    // Subtree weights, bottom-up (children have strictly smaller masks).
+    let mut weight: Vec<u64> = groups.iter().map(|(_, _, c)| *c).collect();
+    let mut by_pop: Vec<usize> = (0..groups.len()).collect();
+    by_pop.sort_by_key(|&i| popcount(&groups[i].0));
+    for &i in &by_pop {
+        if let Some(p) = parent[i] {
+            weight[p] = weight[p].saturating_add(weight[i]);
+        }
+    }
+    // Cost-weighted post-order: heavier subtrees first, masks narrower
+    // than their parent emitted before it.
+    for list in children.iter_mut() {
+        list.sort_by_key(|&i| std::cmp::Reverse(weight[i]));
+    }
+    forest_roots.sort_by_key(|&i| std::cmp::Reverse(weight[i]));
+    let mut priority: Vec<usize> = Vec::new();
+    let mut stack: Vec<(usize, bool)> = forest_roots.iter().rev().map(|&i| (i, false)).collect();
+    while let Some((i, emitted)) = stack.pop() {
+        if emitted {
+            priority.extend(groups[i].1.iter().copied());
+        } else {
+            stack.push((i, true));
+            stack.extend(children[i].iter().rev().map(|&c| (c, false)));
+        }
+    }
+    let mut order: Vec<usize> = (0..batch).collect();
+    order.sort_by(|&a, &b| {
+        for &out in &priority {
+            let ids = key_ids[out].as_ref().expect("mixed out has a key table");
+            match ids[a].cmp(&ids[b]) {
+                std::cmp::Ordering::Equal => continue,
+                unequal => return unequal,
+            }
+        }
+        a.cmp(&b)
+    });
+    MixedDedup { order, key_ids, distinct_contraction_keys }
 }
 
 /// Build every bitstring's frontier seeds for a batch, **deduplicating
@@ -1305,56 +1556,27 @@ fn build_frontiers_batch(
 ) -> Result<(Vec<SeedMap>, u64, u64, GemmTally), Error> {
     let cls = &plan.classification;
     let num_nodes = plan.tree.nodes().len();
-    let num_qubits = plan.build.num_qubits;
 
-    // Projector-qubit mask of every node's subtree. Networks beyond 128
-    // qubits fall back to per-bitstring builds (no dedup key fits).
-    if num_qubits > 128 {
-        let mut seeds = Vec::with_capacity(overrides_batch.len());
-        let mut flops = 0;
-        let mut contractions = 0;
-        let mut gemm = GemmTally::default();
-        for overrides in overrides_batch {
-            let mut frontier = build_frontier(plan, cache, overrides)?;
-            let mut map = HashMap::new();
-            for &id in cls.stem_seeds() {
-                if let Some(t) = frontier.tensors.remove(&id) {
-                    map.insert(id, t);
-                }
-            }
-            flops += frontier.flops;
-            contractions += frontier.contractions;
-            gemm.add(&frontier.gemm);
-            seeds.push(Arc::new(map));
-        }
-        return Ok((seeds, flops, contractions, gemm));
-    }
-    let qubit_of: HashMap<usize, usize> =
-        plan.build.projector_leaves.iter().map(|&(q, v)| (v, q)).collect();
-    let mut mask = vec![0u128; num_nodes];
-    for (id, node) in plan.tree.nodes().iter().enumerate() {
-        if let Some(vertex) = node.leaf_vertex {
-            if let Some(&q) = qubit_of.get(&vertex) {
-                mask[id] = 1 << q;
-            }
-        }
-    }
-    for &(l, r, out) in &plan.tree.schedule() {
-        mask[out] = mask[l] | mask[r];
-    }
+    // Dependency masks come from the classification (ordinal bitsets over
+    // the projector leaves); compact packing means any cone width dedups —
+    // wide-output circuits included, with no per-bitstring fallback.
+    let node_ordinals = node_ordinals_of(plan);
+    let batch_ordinal_bits: Vec<Vec<u8>> =
+        bitstrings.iter().map(|bits| ordinal_bits_of(plan, bits)).collect();
+    let key_of = |node: usize, b: usize| pack_dep_key(&node_ordinals[node], &batch_ordinal_bits[b]);
 
     // Per-node value tables keyed by the masked bits. Leaves read the
     // per-bitstring overrides; internal nodes contract once per distinct
     // key, in schedule order (children before parents, so child tables are
     // complete when the parent needs them).
-    let mut values: Vec<HashMap<u128, DenseTensor<Complex64>>> = vec![HashMap::new(); num_nodes];
+    let mut values: Vec<HashMap<DepKey, DenseTensor<Complex64>>> = vec![HashMap::new(); num_nodes];
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
         if cls.class(node_id) != NodeClass::Frontier {
             continue;
         }
         if let Some(vertex) = node.leaf_vertex {
-            for (bits, overrides) in bitstrings.iter().zip(overrides_batch.iter()) {
-                let key = frontier_key(bits, mask[node_id]);
+            for (b, overrides) in overrides_batch.iter().enumerate() {
+                let key = key_of(node_id, b);
                 values[node_id].entry(key).or_insert_with(|| {
                     overrides.get(&vertex).unwrap_or(&plan.build.nodes[vertex].data).clone()
                 });
@@ -1365,13 +1587,13 @@ fn build_frontiers_batch(
     let mut contractions = 0u64;
     let mut gemm = GemmTally::default();
     for &(l, r, out) in cls.frontier_schedule() {
-        for bits in bitstrings {
-            let key = frontier_key(bits, mask[out]);
+        for b in 0..bitstrings.len() {
+            let key = key_of(out, b);
             if values[out].contains_key(&key) {
                 continue;
             }
-            let left_key = frontier_key(bits, mask[l]);
-            let right_key = frontier_key(bits, mask[r]);
+            let left_key = key_of(l, b);
+            let right_key = key_of(r, b);
             let (a, b): (&DenseTensor<Complex64>, &DenseTensor<Complex64>) =
                 match (cls.class(l) == NodeClass::Frontier, cls.class(r) == NodeClass::Frontier) {
                     (true, true) => (&values[l][&left_key], &values[r][&right_key]),
@@ -1410,11 +1632,11 @@ fn build_frontiers_batch(
     }
 
     let mut seeds = Vec::with_capacity(bitstrings.len());
-    for bits in bitstrings {
+    for b in 0..bitstrings.len() {
         let mut map = HashMap::with_capacity(cls.frontier_keep().len());
         for &id in cls.stem_seeds() {
             if cls.class(id) == NodeClass::Frontier {
-                let key = frontier_key(bits, mask[id]);
+                let key = key_of(id, b);
                 let t = values[id]
                     .get(&key)
                     .ok_or_else(|| Error::Internal(format!("frontier root {id} missing")))?;
@@ -1541,99 +1763,99 @@ fn run_pure_prefix_pooled(
     Ok(flops)
 }
 
+/// Data slice of a keyed-suffix operand: a held buffer in the slot table
+/// (a StemPure keep or a mixed node's held buffer — mixed children were
+/// refreshed earlier in the same pass, children precede parents) or a
+/// borrowed cache tensor (frontier seed / branch cache).
+fn mixed_operand_data<'a>(
+    slots: &'a [Option<Vec<Complex64>>],
+    seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
+    cache: &'a BranchCache,
+    id: usize,
+) -> Result<&'a [Complex64], Error> {
+    if let Some(buf) = slots[id].as_deref() {
+        return Ok(buf);
+    }
+    cached_tensor(seeds, cache, id)
+        .map(DenseTensor::data)
+        .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and caches")))
+}
+
 /// Execute one bitstring's StemMixed suffix of one slice assignment on the
-/// worker's buffer pool, on top of the StemPure keep set the pure prefix
-/// left in the slot table. Mixed-owned buffers (projector leaves and mixed
-/// intermediates) are pooled and consumed as usual; StemPure keeps are
-/// *borrowed* from the slot table — never taken, never released — so the
-/// next bitstring reads them again; frontier seeds and branch-cache tensors
-/// are borrowed as in the single-execution replay. Returns the root tensor
-/// (whose buffer the caller releases after merging) and the mixed flop
-/// count.
-fn run_mixed_suffix_pooled(
+/// worker's buffer pool, *keyed*: the caller acquired every mixed node's
+/// buffer up front and `cached` records the dependent-bits key each buffer
+/// currently holds. A node whose key matches this bitstring's is skipped
+/// outright; a changed key recomputes the buffer **in place** (the
+/// contraction kernel overwrites its output, and leaves re-gather with
+/// `slice_into`), so held buffers never cycle through the pool and only
+/// the per-step TTGT scratch is transient. Because a node's dependency
+/// mask contains its children's masks, a matching output key guarantees
+/// both operands hold exactly the values a per-bitstring replay would
+/// produce — skipping is bit-exact reuse, never approximation. StemPure
+/// keeps are borrowed from the slot table; frontier seeds and branch-cache
+/// tensors are borrowed as in the single-execution replay.
+///
+/// Returns `(executed flops, executed contractions, skipped flops)`. The
+/// root's value stays in the slot table for the caller to merge.
+#[allow(clippy::too_many_arguments)]
+fn run_mixed_suffix_keyed_pooled(
     plan: &SimulationPlan,
     exec: &StemExec,
+    key_ids: &[Option<Vec<u32>>],
+    cached: &mut [Option<u32>],
     seeds: &HashMap<usize, DenseTensor<Complex64>>,
     overrides: &LeafOverrides,
+    bitstring: usize,
     assignment: usize,
     ws: &mut StemWorkspace,
     gemm: &mut GemmTally,
-) -> Result<(DenseTensor<Complex64>, u64), Error> {
+) -> Result<(u64, u64, u64), Error> {
     let cache = cache_of(plan)?;
-    let cls = &plan.classification;
-    let StemWorkspace { pool, counters, slots, fix_buf, root_indices } = ws;
+    let StemWorkspace { pool, counters, slots, fix_buf, .. } = ws;
     let mut flops = 0u64;
+    let mut executed = 0u64;
+    let mut skipped_flops = 0u64;
 
     for leaf in exec.leaves.iter().filter(|l| l.mixed) {
+        let kid = key_ids[leaf.node].as_ref().expect("mixed leaf key table")[bitstring];
+        if cached[leaf.node] == Some(kid) {
+            continue;
+        }
         let src = overrides.get(&leaf.vertex).unwrap_or(&plan.build.nodes[leaf.vertex].data);
         fix_buf.clear();
         fix_buf.extend(
             leaf.fixes.iter().map(|&(axis, bit_pos)| (axis, ((assignment >> bit_pos) & 1) as u8)),
         );
-        let mut buf = pool.acquire(leaf.len, counters);
-        src.slice_into(fix_buf, &mut buf);
-        slots[leaf.node] = Some(buf);
+        let buf = slots[leaf.node]
+            .as_mut()
+            .ok_or_else(|| Error::Internal(format!("mixed leaf buffer {} not held", leaf.node)))?;
+        src.slice_into(fix_buf, buf);
+        cached[leaf.node] = Some(kid);
     }
 
     for step in exec.steps.iter().filter(|s| s.mixed) {
-        // Only mixed-owned operands are consumed; a StemPure operand stays
-        // in its slot (it is this subtask's shared prefix).
-        let left_owned = if cls.class(step.left) == NodeClass::StemMixed {
-            slots[step.left].take()
-        } else {
-            None
-        };
-        let right_owned = if cls.class(step.right) == NodeClass::StemMixed {
-            slots[step.right].take()
-        } else {
-            None
-        };
-        let left = if let Some(buf) = left_owned.as_deref() {
-            buf
-        } else if let Some(buf) = slots[step.left].as_deref() {
-            buf
-        } else {
-            cached_tensor(seeds, cache, step.left).map(DenseTensor::data).ok_or_else(|| {
-                Error::Internal(format!("operand {} missing from slots and caches", step.left))
-            })?
-        };
-        let right = if let Some(buf) = right_owned.as_deref() {
-            buf
-        } else if let Some(buf) = slots[step.right].as_deref() {
-            buf
-        } else {
-            cached_tensor(seeds, cache, step.right).map(DenseTensor::data).ok_or_else(|| {
-                Error::Internal(format!("operand {} missing from slots and caches", step.right))
-            })?
-        };
+        let kid = key_ids[step.out].as_ref().expect("mixed step key table")[bitstring];
+        if cached[step.out] == Some(kid) {
+            skipped_flops += step.kernel.flops();
+            continue;
+        }
+        let mut out = slots[step.out]
+            .take()
+            .ok_or_else(|| Error::Internal(format!("mixed output buffer {} not held", step.out)))?;
+        let left = mixed_operand_data(slots, seeds, cache, step.left)?;
+        let right = mixed_operand_data(slots, seeds, cache, step.right)?;
         let mut left_scratch = pool.acquire(left.len(), counters);
         let mut right_scratch = pool.acquire(right.len(), counters);
-        let mut out = pool.acquire(step.kernel.output().len(), counters);
         step.kernel.contract_into(left, right, &mut left_scratch, &mut right_scratch, &mut out);
         flops += step.kernel.flops();
+        executed += 1;
         gemm.record_kernel(&step.kernel);
         pool.release(left_scratch, counters);
         pool.release(right_scratch, counters);
-        if let Some(buf) = left_owned {
-            pool.release(buf, counters);
-        }
-        if let Some(buf) = right_owned {
-            pool.release(buf, counters);
-        }
         slots[step.out] = Some(out);
+        cached[step.out] = Some(kid);
     }
-
-    let root = plan.tree.root();
-    let buf = slots[root]
-        .take()
-        .ok_or_else(|| Error::Internal("root tensor missing after mixed suffix".into()))?;
-    let indices = match root_indices.take() {
-        Some(indices) => indices,
-        None => exec.node_indices[root]
-            .clone()
-            .ok_or_else(|| Error::Internal("root index set missing from stem compile".into()))?,
-    };
-    Ok((DenseTensor::from_data(indices, buf), flops))
+    Ok((flops, executed, skipped_flops))
 }
 
 /// The slot table an unpooled StemPure prefix leaves behind: the StemPure
@@ -1679,71 +1901,112 @@ fn run_pure_prefix(
     Ok((slots, flops))
 }
 
-/// Fetch a StemMixed-replay operand: a mixed intermediate owned by `slots`
-/// (consumed), a StemPure keep borrowed from this subtask's `pure_slots`
-/// (shared by every bitstring of the batch), or a slice-invariant tensor
-/// borrowed from the frontier seeds / branch cache.
-fn mixed_operand<'a>(
-    slots: &mut [Option<DenseTensor<Complex64>>],
+/// Per-worker state of the unpooled keyed StemMixed suffix: the current
+/// tensor, most-recent dependent-bits key and production cost of every
+/// mixed node, persisted across the bitstring loop of one subtask (the key
+/// cache is invalidated per subtask, so every subtask recomputes its first
+/// bitstring from scratch just like the pooled path).
+struct KeyedMixedSlots {
+    tensors: Vec<Option<DenseTensor<Complex64>>>,
+    cached: Vec<Option<u32>>,
+    /// Flop cost of each mixed node's most recent contraction, charged to
+    /// `stem_mixed_flops_reused` when a later bitstring skips the node.
+    /// Contraction specs are shape-only, so the cost is bitstring-invariant.
+    last_flops: Vec<u64>,
+}
+
+impl KeyedMixedSlots {
+    fn new(num_nodes: usize) -> Self {
+        KeyedMixedSlots {
+            tensors: vec![None; num_nodes],
+            cached: vec![None; num_nodes],
+            last_flops: vec![0; num_nodes],
+        }
+    }
+}
+
+/// Fetch a keyed StemMixed-replay operand, borrowed: a mixed node's current
+/// tensor (children are refreshed before parents within a pass), a StemPure
+/// keep from this subtask's `pure_slots`, or a slice-invariant tensor from
+/// the frontier seeds / branch cache.
+fn keyed_operand<'a>(
+    mixed: &'a [Option<DenseTensor<Complex64>>],
     pure_slots: &'a [Option<DenseTensor<Complex64>>],
     seeds: &'a HashMap<usize, DenseTensor<Complex64>>,
     cache: &'a BranchCache,
     id: usize,
-) -> Result<Cow<'a, DenseTensor<Complex64>>, Error> {
-    if let Some(t) = slots[id].take() {
-        return Ok(Cow::Owned(t));
+) -> Result<&'a DenseTensor<Complex64>, Error> {
+    if let Some(t) = mixed[id].as_ref() {
+        return Ok(t);
     }
     if let Some(t) = pure_slots[id].as_ref() {
-        return Ok(Cow::Borrowed(t));
+        return Ok(t);
     }
     cached_tensor(seeds, cache, id)
-        .map(Cow::Borrowed)
         .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and caches")))
 }
 
-/// Unpooled StemMixed suffix for one bitstring of one slice assignment:
-/// mixed leaves are overridden and sliced, the mixed schedule replays with
-/// plain allocations, and slice-invariant or batch-shared operands are
-/// borrowed (frontier seeds, branch cache, and the pure keep set produced
-/// by [`run_pure_prefix`]). Returns the root tensor and the mixed flop
-/// count.
-fn run_mixed_suffix(
+/// Unpooled keyed StemMixed suffix for one bitstring of one slice
+/// assignment: mixed leaves re-slice and mixed contractions replay **only
+/// when the node's dependent-bits key differs from the one its tensor
+/// already holds** — bitstrings arrive sorted by key (see
+/// [`build_mixed_dedup`]), so each node recomputes once per distinct key it
+/// sees. Slice-invariant or batch-shared operands are borrowed (frontier
+/// seeds, branch cache, and the pure keep set produced by
+/// [`run_pure_prefix`]). Returns `(executed flops, executed contractions,
+/// skipped flops)`; the root tensor stays in `state` for the caller to
+/// merge.
+#[allow(clippy::too_many_arguments)]
+fn run_mixed_suffix_keyed(
     plan: &SimulationPlan,
     pure_slots: &[Option<DenseTensor<Complex64>>],
+    key_ids: &[Option<Vec<u32>>],
+    state: &mut KeyedMixedSlots,
     seeds: &HashMap<usize, DenseTensor<Complex64>>,
     overrides: &LeafOverrides,
     sliced: &[IndexId],
     assignment: usize,
+    bitstring: usize,
     gemm: &mut GemmTally,
-) -> Result<(DenseTensor<Complex64>, u64), Error> {
+) -> Result<(u64, u64, u64), Error> {
     let cls = &plan.classification;
     let cache = cache_of(plan)?;
-    let root = plan.tree.root();
-    let num_nodes = plan.tree.nodes().len();
-    let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; num_nodes];
     let mut flops = 0u64;
+    let mut executed = 0u64;
+    let mut skipped_flops = 0u64;
 
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
         if cls.class(node_id) != NodeClass::StemMixed {
             continue;
         }
         if let Some(vertex) = node.leaf_vertex {
-            slots[node_id] = Some(sliced_leaf_tensor(plan, overrides, sliced, assignment, vertex));
+            let kid = key_ids[node_id].as_ref().expect("mixed leaf key table")[bitstring];
+            if state.cached[node_id] != Some(kid) {
+                state.tensors[node_id] =
+                    Some(sliced_leaf_tensor(plan, overrides, sliced, assignment, vertex));
+                state.cached[node_id] = Some(kid);
+            }
         }
     }
 
     for &(l, r, out) in cls.stem_mixed_schedule() {
-        let a = mixed_operand(&mut slots, pure_slots, seeds, cache, l)?;
-        let b = mixed_operand(&mut slots, pure_slots, seeds, cache, r)?;
+        let kid = key_ids[out].as_ref().expect("mixed step key table")[bitstring];
+        if state.cached[out] == Some(kid) {
+            skipped_flops += state.last_flops[out];
+            continue;
+        }
+        let a = keyed_operand(&state.tensors, pure_slots, seeds, cache, l)?;
+        let b = keyed_operand(&state.tensors, pure_slots, seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
+        executed += 1;
         gemm.record_spec(&spec);
-        slots[out] = Some(contract_pair(&a, &b));
+        let result = contract_pair(a, b);
+        state.last_flops[out] = spec.flops();
+        state.tensors[out] = Some(result);
+        state.cached[out] = Some(kid);
     }
-    slots[root]
-        .take()
-        .ok_or_else(|| Error::Internal("root tensor missing after mixed suffix".into()))
-        .map(|t| (t, flops))
+    Ok((flops, executed, skipped_flops))
 }
 
 /// Execute one plan for a whole batch of output bitstrings, amortizing the
@@ -1790,6 +2053,15 @@ pub fn execute_amplitudes_on_pool(
         let overrides: LeafOverrides = plan.build.rebind_output(bits)?.into_iter().collect();
         overrides_batch.push(Arc::new(overrides));
     }
+    // A batch of one has nothing to amortize: delegate to the single-execute
+    // path and skip the batch bookkeeping (seed maps, dedup tables, partial
+    // accumulators) entirely. Identical results by construction — the batched
+    // path is defined as bit-identical to this very loop of singles.
+    if batch == 1 {
+        let (result, mut stats) = execute_on_pool(pool, plan, &overrides_batch[0], config)?;
+        stats.amplitudes_in_batch = 1;
+        return Ok((vec![result], stats));
+    }
     if !config.reuse {
         return execute_amplitudes_sequentially(pool, plan, &overrides_batch, config);
     }
@@ -1819,8 +2091,19 @@ pub fn execute_amplitudes_on_pool(
     let overrides_all: Arc<Vec<Arc<LeafOverrides>>> = Arc::new(overrides_batch);
     let stem_exec_shared = state.stem_exec.as_ref().filter(|e| e.root_is_stem).map(Arc::clone);
     let root_is_mixed = plan.classification.root_class() == NodeClass::StemMixed;
+    let dedup = Arc::new(if root_is_mixed {
+        build_mixed_dedup(plan, &bits_vec)
+    } else {
+        MixedDedup {
+            order: (0..batch).collect(),
+            key_ids: Vec::new(),
+            distinct_contraction_keys: 0,
+        }
+    });
+    let mixed_sched_len = plan.classification.stem_mixed_schedule().len() as u64;
 
-    type BatchOutcome = (Vec<DenseTensor<Complex64>>, u64, u64, GemmTally, PoolCounters);
+    type BatchOutcome =
+        (Vec<DenseTensor<Complex64>>, u64, u64, MixedTally, GemmTally, PoolCounters);
     let (tx, rx) = mpsc::channel::<(usize, Result<BatchOutcome, Error>)>();
     for worker in 0..workers {
         let tx = tx.clone();
@@ -1828,6 +2111,7 @@ pub fn execute_amplitudes_on_pool(
         let seeds_all = Arc::clone(&seeds_all);
         let overrides_all = Arc::clone(&overrides_all);
         let stem_exec = stem_exec_shared.as_ref().map(Arc::clone);
+        let dedup = Arc::clone(&dedup);
         let sliced = sliced.clone();
         let sliced_open = sliced_open.clone();
         let output_indices = output_indices.clone();
@@ -1836,45 +2120,99 @@ pub fn execute_amplitudes_on_pool(
                 StemWorkspace::new(plan.tree.nodes().len(), plan.stem_pools.checkout(worker))
             });
             let outcome = (|| {
+                let num_nodes = plan.tree.nodes().len();
                 let mut partials: Vec<DenseTensor<Complex64>> =
                     (0..batch).map(|_| DenseTensor::zeros(output_indices.clone())).collect();
                 let mut flops = 0u64;
                 let mut pure_flops = 0u64;
+                let mut mixed = MixedTally::default();
                 let mut gemm = GemmTally::default();
+                // Most-recent-key cache of the pooled keyed suffix,
+                // invalidated per subtask (the first bitstring of every
+                // subtask replays the full suffix, touching the peak).
+                let mut cached_keys: Vec<Option<u32>> = vec![None; num_nodes];
+                // Unpooled keyed suffix state, likewise reset per subtask.
+                let mut keyed_state = KeyedMixedSlots::new(num_nodes);
                 let root = plan.tree.root();
                 // Static striding over slice assignments, exactly like the
                 // single path: worker w owns subtasks w, w+W, w+2W, …
                 let mut assignment = worker;
                 while assignment < run_subtasks {
                     match &stem_exec {
-                        // Pooled batched subtask: pure prefix once, mixed
-                        // suffix per bitstring on the held keep set.
+                        // Pooled batched subtask: pure prefix once, then the
+                        // keyed mixed suffix over the batch in dedup order.
                         Some(exec) => {
                             let ws = ws.as_mut().expect("workspace exists with stem_exec");
                             let p = run_pure_prefix_pooled(&plan, exec, assignment, ws, &mut gemm)?;
                             flops += p;
                             pure_flops += p;
                             if root_is_mixed {
-                                for (b, partial) in partials.iter_mut().enumerate() {
-                                    let (result, m) = run_mixed_suffix_pooled(
+                                // Acquire every mixed node's buffer up front
+                                // (leaves, then step outputs — the lifetime
+                                // simulation's exact sequence) and hold them
+                                // across the whole bitstring loop: keyed
+                                // recomputes overwrite in place, so the live
+                                // set is constant and the first bitstring
+                                // deterministically hits the predicted peak
+                                // whatever keys the batch contains.
+                                for leaf in exec.leaves.iter().filter(|l| l.mixed) {
+                                    ws.slots[leaf.node] =
+                                        Some(ws.pool.acquire(leaf.len, &mut ws.counters));
+                                }
+                                for step in exec.steps.iter().filter(|s| s.mixed) {
+                                    ws.slots[step.out] = Some(
+                                        ws.pool
+                                            .acquire(step.kernel.output().len(), &mut ws.counters),
+                                    );
+                                }
+                                cached_keys.fill(None);
+                                for &b in dedup.order.iter() {
+                                    let (m, executed, skipped) = run_mixed_suffix_keyed_pooled(
                                         &plan,
                                         exec,
+                                        &dedup.key_ids,
+                                        &mut cached_keys,
                                         &seeds_all[b],
                                         &overrides_all[b],
+                                        b,
                                         assignment,
                                         ws,
                                         &mut gemm,
                                     )?;
                                     flops += m;
+                                    mixed.flops += m;
+                                    mixed.contractions += executed;
+                                    mixed.skipped_flops += skipped;
+                                    mixed.skipped_contractions += mixed_sched_len - executed;
+                                    // Merge this bitstring's root: borrow the
+                                    // held buffer as a tensor, then put it
+                                    // back for the next bitstring to reuse.
+                                    let buf = ws.slots[root].take().ok_or_else(|| {
+                                        Error::Internal(
+                                            "root tensor missing after mixed suffix".into(),
+                                        )
+                                    })?;
+                                    let indices = match ws.root_indices.take() {
+                                        Some(indices) => indices,
+                                        None => {
+                                            exec.node_indices[root].clone().ok_or_else(|| {
+                                                Error::Internal(
+                                                    "root index set missing from stem compile"
+                                                        .into(),
+                                                )
+                                            })?
+                                        }
+                                    };
+                                    let result = DenseTensor::from_data(indices, buf);
                                     merge_subtask(
-                                        partial,
+                                        &mut partials[b],
                                         &result,
                                         &sliced_open,
                                         &sliced,
                                         assignment,
                                     );
                                     let (indices, buf) = result.into_parts();
-                                    ws.pool.release(buf, &mut ws.counters);
+                                    ws.slots[root] = Some(buf);
                                     ws.root_indices = Some(indices);
                                 }
                             } else {
@@ -1919,20 +2257,34 @@ pub fn execute_amplitudes_on_pool(
                             flops += p;
                             pure_flops += p;
                             if root_is_mixed {
-                                for (b, partial) in partials.iter_mut().enumerate() {
-                                    let (result, m) = run_mixed_suffix(
+                                keyed_state.cached.fill(None);
+                                for &b in dedup.order.iter() {
+                                    let (m, executed, skipped) = run_mixed_suffix_keyed(
                                         &plan,
                                         &pure_slots,
+                                        &dedup.key_ids,
+                                        &mut keyed_state,
                                         &seeds_all[b],
                                         &overrides_all[b],
                                         &sliced,
                                         assignment,
+                                        b,
                                         &mut gemm,
                                     )?;
                                     flops += m;
+                                    mixed.flops += m;
+                                    mixed.contractions += executed;
+                                    mixed.skipped_flops += skipped;
+                                    mixed.skipped_contractions += mixed_sched_len - executed;
+                                    let result =
+                                        keyed_state.tensors[root].as_ref().ok_or_else(|| {
+                                            Error::Internal(
+                                                "root tensor missing after mixed suffix".into(),
+                                            )
+                                        })?;
                                     merge_subtask(
-                                        partial,
-                                        &result,
+                                        &mut partials[b],
+                                        result,
                                         &sliced_open,
                                         &sliced,
                                         assignment,
@@ -1970,7 +2322,7 @@ pub fn execute_amplitudes_on_pool(
                     }
                     assignment += workers;
                 }
-                Ok((partials, flops, pure_flops, gemm))
+                Ok((partials, flops, pure_flops, mixed, gemm))
             })();
             // Return the pool regardless of the outcome, draining any
             // buffers a failed replay left behind.
@@ -1986,8 +2338,9 @@ pub fn execute_amplitudes_on_pool(
             }
             let _ = tx.send((
                 worker,
-                outcome
-                    .map(|(partials, flops, pure, gemm)| (partials, flops, pure, gemm, counters)),
+                outcome.map(|(partials, flops, pure, mixed, gemm)| {
+                    (partials, flops, pure, mixed, gemm, counters)
+                }),
             ));
         }));
     }
@@ -2004,19 +2357,26 @@ pub fn execute_amplitudes_on_pool(
         worker_partials[worker] = Some(outcome?);
     }
     let mut worker_partials = worker_partials.into_iter();
-    let (mut results, mut stem_flops, mut stem_pure_flops, mut gemm_tally, mut pool_counters) =
-        worker_partials
-            .next()
-            .flatten()
-            .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
+    let (
+        mut results,
+        mut stem_flops,
+        mut stem_pure_flops,
+        mut mixed_tally,
+        mut gemm_tally,
+        mut pool_counters,
+    ) = worker_partials
+        .next()
+        .flatten()
+        .ok_or_else(|| Error::Internal("missing worker partial".into()))?;
     for slot in worker_partials {
-        let (partials, worker_flops, worker_pure, worker_gemm, worker_counters) =
+        let (partials, worker_flops, worker_pure, worker_mixed, worker_gemm, worker_counters) =
             slot.ok_or_else(|| Error::Internal("missing worker partial".into()))?;
         for (acc, partial) in results.iter_mut().zip(partials.iter()) {
             acc.accumulate(partial);
         }
         stem_flops += worker_flops;
         stem_pure_flops += worker_pure;
+        mixed_tally.merge(&worker_mixed);
         gemm_tally.add(&worker_gemm);
         pool_counters.merge(&worker_counters);
     }
@@ -2060,6 +2420,11 @@ pub fn execute_amplitudes_on_pool(
         stem_pure_flops_reused,
         stem_pure_contractions: plan.classification.stem_pure_schedule().len() as u64
             * run_subtasks as u64,
+        stem_mixed_flops: mixed_tally.flops,
+        stem_mixed_flops_reused: mixed_tally.skipped_flops,
+        stem_mixed_contractions: mixed_tally.contractions,
+        stem_mixed_contractions_deduped: mixed_tally.skipped_contractions,
+        stem_mixed_distinct_keys: dedup.distinct_contraction_keys,
         amplitudes_in_batch: batch as u64,
         frontier_flops: state.frontier_flops,
         branch_flops: state.branch_flops,
@@ -2106,6 +2471,11 @@ fn execute_amplitudes_sequentially(
         stats.stem_flops += s.stem_flops;
         stats.stem_pure_flops += s.stem_pure_flops;
         stats.stem_pure_contractions += s.stem_pure_contractions;
+        stats.stem_mixed_flops += s.stem_mixed_flops;
+        stats.stem_mixed_flops_reused += s.stem_mixed_flops_reused;
+        stats.stem_mixed_contractions += s.stem_mixed_contractions;
+        stats.stem_mixed_contractions_deduped += s.stem_mixed_contractions_deduped;
+        stats.stem_mixed_distinct_keys += s.stem_mixed_distinct_keys;
         stats.frontier_flops += s.frontier_flops;
         stats.branch_flops += s.branch_flops;
         stats.branch_flops_reused += s.branch_flops_reused;
@@ -2976,5 +3346,87 @@ mod tests {
         for &((m, n, k), _) in &hist {
             assert!(m.is_power_of_two() && n.is_power_of_two() && k.is_power_of_two());
         }
+    }
+
+    #[test]
+    fn dep_keys_pack_beyond_64_dependent_qubits() {
+        // 100 dependent ordinals: more than a u64 could hold, still one
+        // u128 — the path the old packed-u64 key used to bail out of with a
+        // per-bitstring fallback.
+        let ordinals: Vec<usize> = (0..100).collect();
+        let mut bits = vec![0u8; 100];
+        bits[0] = 1;
+        bits[70] = 1;
+        bits[99] = 1;
+        let key = pack_dep_key(&ordinals, &bits);
+        assert_eq!(key, DepKey::Packed(1 | (1u128 << 70) | (1u128 << 99)));
+        // Flipping a bit above position 64 changes the key.
+        bits[70] = 0;
+        assert_ne!(pack_dep_key(&ordinals, &bits), key);
+
+        // Keys are *compact*: only the masked ordinals feed the key, so two
+        // bitstrings differing outside the mask are indistinguishable.
+        let sparse = [3usize, 71, 99];
+        let mut a = vec![0u8; 100];
+        let mut b = vec![1u8; 100];
+        for &o in &sparse {
+            a[o] = 1;
+            b[o] = 1;
+        }
+        assert_eq!(pack_dep_key(&sparse, &a), pack_dep_key(&sparse, &b));
+        assert_eq!(pack_dep_key(&sparse, &a), DepKey::Packed(0b111));
+    }
+
+    #[test]
+    fn dep_keys_spill_to_wide_words_past_128_ordinals() {
+        let ordinals: Vec<usize> = (0..200).collect();
+        let mut bits = vec![0u8; 200];
+        bits[5] = 1;
+        bits[140] = 1;
+        let key = pack_dep_key(&ordinals, &bits);
+        match &key {
+            DepKey::Wide(words) => {
+                assert_eq!(words.len(), 2);
+                assert_eq!(words[0], 1u128 << 5);
+                assert_eq!(words[1], 1u128 << (140 - 128));
+            }
+            DepKey::Packed(_) => panic!("200 ordinals must use the wide representation"),
+        }
+        // Hash/Eq line up across representations of the same width.
+        assert_eq!(key.clone(), pack_dep_key(&ordinals, &bits));
+        bits[199] = 1;
+        assert_ne!(pack_dep_key(&ordinals, &bits), key);
+    }
+
+    #[test]
+    fn mixed_dedup_orders_the_batch_by_dependent_keys() {
+        // RQC plan with a StemMixed root: the dedup tables must cover every
+        // mixed node, intern at most `batch` ids per node, and sort the
+        // batch so equal full-dependency keys are adjacent.
+        let circuit = RqcConfig::small(3, 3, 8, 13).build();
+        let n = circuit.num_qubits();
+        let plan = plan_simulation(
+            &circuit,
+            &OutputSpec::Amplitude(vec![0; n]),
+            &PlannerConfig { target_rank: 7, ..Default::default() },
+        );
+        assert!(!plan.classification.stem_mixed_schedule().is_empty());
+        let bits: Vec<Vec<u8>> =
+            (0..16).map(|k| (0..n).map(|q| ((k >> (q % 4)) & 1) as u8).collect()).collect();
+        let dedup = build_mixed_dedup(&plan, &bits);
+        let mut sorted = dedup.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<_>>(), "order is a permutation of the batch");
+        for &(_, _, out) in plan.classification.stem_mixed_schedule() {
+            let ids = dedup.key_ids[out].as_ref().expect("every mixed out gets a key table");
+            assert_eq!(ids.len(), 16);
+            // Sorted order keeps equal keys adjacent: each distinct id
+            // appears in exactly one contiguous run when masks are nested,
+            // and never more runs than distinct ids times fragmentation by
+            // wider masks — at minimum, the distinct count is consistent.
+            let distinct = ids.iter().collect::<std::collections::HashSet<_>>().len();
+            assert!(distinct as u64 <= 16);
+        }
+        assert!(dedup.distinct_contraction_keys > 0);
     }
 }

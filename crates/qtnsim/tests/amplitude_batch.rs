@@ -5,7 +5,7 @@
 //! exactly once per subtask regardless of batch size) and the batched
 //! lifetime phase predicts the pooled peak exactly.
 
-use qtnsim::circuit::{OutputSpec, RqcConfig};
+use qtnsim::circuit::{Gate, OutputSpec, RqcConfig};
 use qtnsim::{Circuit, Engine, ExecutorConfig, PlannerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -197,17 +197,157 @@ fn batched_amortization_beats_the_sequential_flop_bill() {
         batched.stats.flops,
         sequential
     );
-    // The stem-side saving is exactly the replayed StemPure work; the
-    // frontier dedup saves on top of it.
+    // The stem-side saving is exactly the replayed StemPure work plus the
+    // keyed-cache StemMixed skips; the frontier dedup saves on top of it.
     let sequential_stem: u64 = singles.iter().map(|s| s.stem_flops).sum();
     assert_eq!(
-        batched.stats.stem_flops + batched.stats.stem_pure_flops_reused,
+        batched.stats.stem_flops
+            + batched.stats.stem_pure_flops_reused
+            + batched.stats.stem_mixed_flops_reused,
         sequential_stem,
-        "what the batched stem saved is exactly the replayed StemPure work"
+        "what the batched stem saved is exactly the replayed StemPure and deduped StemMixed work"
+    );
+    assert!(
+        batched.stats.stem_mixed_flops_reused > 0,
+        "32 bitstrings over narrow mixed cones must dedup some StemMixed work"
     );
     let sequential_frontier: u64 = singles.iter().map(|s| s.frontier_flops).sum();
     assert!(
         batched.stats.frontier_flops < sequential_frontier,
         "frontier dedup must save work across 32 bitstrings"
     );
+}
+
+/// A 10-qubit GHZ-style ladder (CNOT chain, then a T/CZ brickwork layer,
+/// then Hadamards) planned at target rank 2: the mixed suffix's dependency
+/// cones span widths 1 through all 10 output qubits, exercising the keyed
+/// dedup from single-projector joins up to the fully dependent root.
+fn ladder_circuit(n: usize) -> Circuit {
+    let mut circuit = Circuit::new(n);
+    circuit.push1(Gate::H, 0);
+    for q in 0..n - 1 {
+        circuit.push2(Gate::Cnot, q, q + 1);
+    }
+    for q in 0..n - 1 {
+        circuit.push1(Gate::T, q);
+        circuit.push2(Gate::Cz, q, q + 1);
+    }
+    for q in 0..n {
+        circuit.push1(Gate::H, q);
+    }
+    circuit
+}
+
+#[test]
+fn mixed_cones_from_one_qubit_to_full_output_stay_bit_identical() {
+    let n = 10;
+    let circuit = ladder_circuit(n);
+    let spec = OutputSpec::Amplitude(vec![0; n]);
+    let bitstrings = random_bitstrings(n, 16, 23);
+
+    for pool in [true, false] {
+        let engine = Engine::with_configs(
+            PlannerConfig { target_rank: 2, ..Default::default() },
+            executor(pool),
+        );
+        let compiled = engine.compile(&circuit, &spec).unwrap();
+        let plan = compiled.plan();
+        let masks = plan.classification.projector_masks();
+        let widths: Vec<usize> = plan
+            .classification
+            .stem_mixed_schedule()
+            .iter()
+            .map(|&(_, _, out)| masks.popcount(out))
+            .collect();
+        assert!(widths.contains(&1), "a single-projector join must be StemMixed: {widths:?}");
+        assert!(
+            widths.iter().any(|&w| w > 1 && w < n),
+            "an intermediate-width cone must be StemMixed: {widths:?}"
+        );
+        assert!(widths.contains(&n), "the root depends on every output qubit: {widths:?}");
+
+        let batch: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+        let (amps, report) = compiled.execute_amplitudes(&batch).unwrap();
+        assert!(
+            report.stats.stem_mixed_flops_reused > 0,
+            "narrow cones see at most 2^w distinct keys, so B=16 must dedup (pool={pool})"
+        );
+        if pool {
+            assert_eq!(
+                report.stats.peak_bytes_in_flight, report.stats.predicted_peak_bytes,
+                "keyed suffix must still hit the predicted peak exactly"
+            );
+        }
+        for (bits, batched) in bitstrings.iter().zip(amps.iter()) {
+            let (single, _) = compiled.execute_amplitude(bits).unwrap();
+            assert_eq!(
+                single, *batched,
+                "batched amplitude must be bit-identical for {bits:?} (pool={pool})"
+            );
+        }
+    }
+}
+
+#[test]
+fn each_distinct_subtask_key_contraction_runs_exactly_once_on_nested_cones() {
+    // This 9-qubit RQC's mixed dependency masks are totally ordered by
+    // containment (a chain), so the cost-weighted narrowest-first sort
+    // groups *every* mixed node perfectly: contraction counts must hit the
+    // distinct-key floor exactly, at any batch size.
+    let circuit = RqcConfig::small(3, 3, 8, 13).build();
+    let n = circuit.num_qubits();
+    let spec = OutputSpec::Amplitude(vec![0; n]);
+    let engine = Engine::with_configs(
+        PlannerConfig { target_rank: 7, ..Default::default() },
+        executor(true),
+    );
+    let compiled = engine.compile(&circuit, &spec).unwrap();
+    let plan = compiled.plan();
+    let masks = plan.classification.projector_masks();
+    let cones: Vec<Vec<usize>> = plan
+        .classification
+        .stem_mixed_schedule()
+        .iter()
+        .map(|&(_, _, out)| masks.ordinals(out).collect())
+        .collect();
+    for a in &cones {
+        for b in &cones {
+            assert!(
+                a.iter().all(|o| b.contains(o)) || b.iter().all(|o| a.contains(o)),
+                "test premise: masks form a chain"
+            );
+        }
+    }
+    let sched_len = plan.classification.stem_mixed_schedule().len() as u64;
+    let subtasks = plan.num_subtasks() as u64;
+
+    for batch_size in [8usize, 64] {
+        let bitstrings = random_bitstrings(n, batch_size, 1000 + batch_size as u64);
+        let batch: Vec<&[u8]> = bitstrings.iter().map(Vec::as_slice).collect();
+        let (_, report) = compiled.execute_amplitudes(&batch).unwrap();
+        let stats = &report.stats;
+        assert!(stats.stem_mixed_distinct_keys > 0);
+        assert!(stats.stem_mixed_distinct_keys <= sched_len * batch_size as u64);
+        assert_eq!(
+            stats.stem_mixed_contractions,
+            stats.stem_mixed_distinct_keys * subtasks,
+            "each distinct (subtask, dependent-bits) contraction runs exactly once (B={batch_size})"
+        );
+        assert_eq!(
+            stats.stem_mixed_contractions + stats.stem_mixed_contractions_deduped,
+            sched_len * batch_size as u64 * subtasks,
+            "executed + skipped must cover the per-bitstring mixed bill (B={batch_size})"
+        );
+        assert_eq!(
+            stats.stem_mixed_flops,
+            stats.stem_flops - stats.stem_pure_flops,
+            "executed mixed flops split exactly off the stem total"
+        );
+        if batch_size == 64 {
+            assert!(
+                stats.stem_mixed_contractions_deduped > 0,
+                "64 random bitstrings over narrow nested cones must repeat keys"
+            );
+        }
+    }
 }

@@ -124,7 +124,8 @@ fn overload_sheds_with_explicit_backpressure() {
     let n = circuit.num_qubits();
 
     // A queue bound of 2 amplitudes and a long deadline: the first request
-    // parks in the batcher, the oversized second one must be refused.
+    // dispatches solo and occupies the engine, the oversized second one
+    // must be refused outright (3 amplitudes never fit a bound of 2).
     let server = Server::bind(
         "127.0.0.1:0",
         config(BatchConfig { max_batch: 64, batch_deadline: Duration::from_secs(5), max_queue: 2 }),
@@ -137,8 +138,8 @@ fn overload_sheds_with_explicit_backpressure() {
     let first = client.send_request(&circuit, &[&zeros]).expect("send");
     let shed_id = client.send_request(&circuit, &[&zeros, &ones, &zeros]).expect("send");
 
-    // The shed reply arrives first: the parked request waits on its
-    // deadline while admission control answers immediately.
+    // The shed reply arrives first: admission control answers immediately
+    // while the first request's batch is still executing.
     let reply = client.recv_reply().expect("reply");
     assert_eq!(reply.request_id(), shed_id);
     match reply {
@@ -148,10 +149,10 @@ fn overload_sheds_with_explicit_backpressure() {
 
     let snapshot = server.shutdown();
     assert_eq!(snapshot.requests_shed, 1);
-    assert_eq!(snapshot.requests_completed, 1, "the parked request drains, not drops");
+    assert_eq!(snapshot.requests_completed, 1, "the admitted request completes, not drops");
 
-    // The drained response for the parked request was delivered before the
-    // listener went away.
+    // The admitted request's response was delivered before the listener
+    // went away.
     let reply = client.recv_reply().expect("drained reply");
     assert_eq!(reply.request_id(), first);
     assert!(matches!(reply, Reply::Amplitudes(_)), "drained request completes: {reply:?}");
@@ -181,8 +182,8 @@ fn shutdown_drains_admitted_requests() {
         ids.push(client.send_request(&circuit, &[bits]).expect("send"));
     }
 
-    // Wait until the server has admitted all six (they sit in one unfilled
-    // batch behind the 30 s deadline), then drain.
+    // Wait until the server has admitted all six (any batch opened while
+    // the engine is busy parks behind the 30 s deadline), then drain.
     let admitted = std::time::Instant::now();
     while server.metrics().requests_accepted < 6 {
         assert!(admitted.elapsed() < Duration::from_secs(10), "requests never admitted");
@@ -190,7 +191,15 @@ fn shutdown_drains_admitted_requests() {
     }
     let snapshot = server.shutdown();
     assert_eq!(snapshot.requests_completed, 6);
-    assert_eq!(snapshot.drain_flushes + snapshot.deadline_flushes + snapshot.size_flushes, 1);
+    // Solo dispatch may have run some of the work ahead of the drain (the
+    // first request opens alone), but every dispatched batch has exactly
+    // one recorded flush cause and nothing waits out the 30 s deadline.
+    let flushes = snapshot.drain_flushes
+        + snapshot.deadline_flushes
+        + snapshot.size_flushes
+        + snapshot.solo_flushes;
+    assert_eq!(flushes, snapshot.batches_dispatched);
+    assert_eq!(snapshot.deadline_flushes, 0, "nothing sat out the 30 s deadline");
 
     let mut seen = std::collections::HashSet::new();
     for _ in &ids {
@@ -216,8 +225,10 @@ fn stats_endpoint_reports_service_and_engine_counters() {
     let json = client.stats().expect("stats");
     for key in [
         "\"schema\": \"qtnsim-serve/stats\"",
+        "\"version\": 2",
         "\"requests_completed\": 1",
         "\"batches_dispatched\": 1",
+        "\"solo_flushes\": 1",
         "\"plan_cache\"",
         "\"plan_cache_misses\": 1",
         "\"execution\"",
@@ -226,6 +237,48 @@ fn stats_endpoint_reports_service_and_engine_counters() {
         assert!(json.contains(key), "stats JSON missing {key}: {json}");
     }
     server.shutdown();
+}
+
+/// Solo dispatch: under single-stream load (one request in flight at a
+/// time) every batch is the only admitted work, so it dispatches
+/// immediately with a `Solo` flush instead of waiting out the coalescing
+/// deadline — observed queue wait stays far below `batch_deadline`.
+#[test]
+fn single_stream_load_skips_the_batch_deadline() {
+    let circuit = sliced_circuit(19);
+    let n = circuit.num_qubits();
+    let deadline = Duration::from_millis(400);
+    let server = Server::bind(
+        "127.0.0.1:0",
+        config(BatchConfig { max_batch: 64, batch_deadline: deadline, max_queue: 4096 }),
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let bitstrings = random_bitstrings(n, 4, 77);
+    let start = std::time::Instant::now();
+    for bits in &bitstrings {
+        let reply = client.request_amplitudes(&circuit, &[bits]).expect("reply");
+        assert!(matches!(reply, Reply::Amplitudes(_)), "single-stream reply: {reply:?}");
+    }
+    let elapsed = start.elapsed();
+
+    let snapshot = server.shutdown();
+    assert_eq!(snapshot.requests_completed, 4);
+    assert_eq!(snapshot.batches_dispatched, 4, "no coalescing partners exist");
+    assert_eq!(snapshot.solo_flushes, 4, "every single-stream batch dispatches solo");
+    assert_eq!(snapshot.deadline_flushes, 0, "no batch waited out the deadline");
+    // The headline claim: observed queue wait is far below the deadline a
+    // deadline-flushed batch would have paid in full, per request.
+    let mean_wait = Duration::from_micros(snapshot.queue_micros / snapshot.batches_dispatched);
+    assert!(
+        mean_wait < deadline / 8,
+        "solo dispatch must cut queue wait: mean {mean_wait:?} vs deadline {deadline:?}"
+    );
+    assert!(
+        elapsed < deadline * 4,
+        "serial requests must not serialize on coalescing deadlines: {elapsed:?}"
+    );
 }
 
 /// Malformed client traffic gets a typed `Error` frame, not a panic or a

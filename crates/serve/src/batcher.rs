@@ -13,6 +13,16 @@
 //! single-dispatch mode, which is what the serve bench uses as its
 //! unbatched baseline.
 //!
+//! One refinement keeps the deadline from taxing idle traffic: when an open
+//! batch is the **only** admitted work in flight — no other pending batch
+//! and no claimed batch still executing (`Batcher::finish_batch` tracks
+//! that) — waiting out the deadline cannot attract coalescing partners, so
+//! the batch dispatches immediately with `FlushCause::Solo`. Under
+//! single-stream load this removes the full `batch_deadline` from every
+//! request's latency; under concurrent load the solo condition is false and
+//! coalescing proceeds as before. This is the first slice of the roadmap's
+//! adaptive-deadline item.
+//!
 //! Admission control lives here too: the total number of queued amplitudes
 //! is bounded by `max_queue`; requests that would overflow it are refused
 //! immediately with [`ShedReason::QueueFull`] rather than queued behind an
@@ -67,6 +77,9 @@ pub(crate) enum FlushCause {
     Full,
     /// `batch_deadline` expired.
     Deadline,
+    /// Only batch in flight — waiting could not have attracted partners,
+    /// so it dispatched ahead of its deadline.
+    Solo,
     /// Shutdown drain.
     Drain,
 }
@@ -94,6 +107,11 @@ struct PendingBatch {
 struct BatcherState {
     pending: VecDeque<PendingBatch>,
     queued_amplitudes: usize,
+    /// Batches claimed by a dispatcher whose execution has not finished
+    /// (see [`Batcher::finish_batch`]); while nonzero, a lone pending batch
+    /// still waits — requests riding the executing batch's connections may
+    /// coalesce with it the moment the engine frees up.
+    executing: usize,
     draining: bool,
 }
 
@@ -111,6 +129,7 @@ impl Batcher {
             state: Mutex::new(BatcherState {
                 pending: VecDeque::new(),
                 queued_amplitudes: 0,
+                executing: 0,
                 draining: false,
             }),
             ready: Condvar::new(),
@@ -167,18 +186,27 @@ impl Batcher {
     /// batcher is draining and empty — the dispatcher's exit signal.
     pub fn next_batch(&self) -> Option<ReadyBatch> {
         let mut state = self.state.lock().expect("batcher lock");
+        // Solo dispatch only applies when coalescing is on at all; with a
+        // zero deadline every batch is already immediately ready (and keeps
+        // its `Deadline` cause, which the serve bench's unbatched baseline
+        // counts on).
+        let coalesce = !self.config.batch_deadline.is_zero();
         loop {
             let now = Instant::now();
             let draining = state.draining;
+            let solo = coalesce && !draining && state.pending.len() == 1 && state.executing == 0;
             if let Some(pos) = state.pending.iter().position(|b| {
-                draining || b.amplitudes >= self.config.max_batch || now >= b.deadline
+                draining || solo || b.amplitudes >= self.config.max_batch || now >= b.deadline
             }) {
                 let batch = state.pending.remove(pos).expect("position exists");
                 state.queued_amplitudes -= batch.amplitudes;
+                state.executing += 1;
                 let cause = if batch.amplitudes >= self.config.max_batch {
                     FlushCause::Full
                 } else if now >= batch.deadline {
                     FlushCause::Deadline
+                } else if solo {
+                    FlushCause::Solo
                 } else {
                     FlushCause::Drain
                 };
@@ -202,6 +230,16 @@ impl Batcher {
                 None => self.ready.wait(state).expect("batcher lock"),
             };
         }
+    }
+
+    /// Record that a claimed batch finished executing. Dispatchers call
+    /// this as soon as the engine returns (before delivering responses): a
+    /// lone open batch that was parked behind the in-flight execution
+    /// becomes solo-ready the moment the engine frees up.
+    pub fn finish_batch(&self) {
+        let mut state = self.state.lock().expect("batcher lock");
+        state.executing = state.executing.saturating_sub(1);
+        self.ready.notify_all();
     }
 
     /// Stop admitting work and make every pending batch immediately ready;
@@ -270,19 +308,70 @@ mod tests {
     }
 
     #[test]
-    fn deadline_flushes_unfilled_batches() {
+    fn deadline_flushes_unfilled_batches_while_other_work_executes() {
         let c = RqcConfig::small(2, 2, 4, 3).build();
         let compiled = compiled_for(&c);
+        let n = c.num_qubits();
         let batcher = Batcher::new(BatchConfig {
-            max_batch: 1000,
+            max_batch: 2,
             batch_deadline: Duration::from_millis(5),
             max_queue: 100,
         });
-        batcher.enqueue(compiled, entry(c.num_qubits(), 1).0).unwrap();
+        // Fill and claim a first batch but do not finish it: the engine is
+        // busy, so the next lone batch is *not* solo and must wait out its
+        // deadline (requests riding the executing batch's load may yet
+        // coalesce with it).
+        batcher.enqueue(Arc::clone(&compiled), entry(n, 2).0).unwrap();
+        let busy = batcher.next_batch().expect("filled batch");
+        assert_eq!(busy.cause, FlushCause::Full);
+        batcher.enqueue(compiled, entry(n, 1).0).unwrap();
         let start = Instant::now();
         let batch = batcher.next_batch().expect("deadline flush");
         assert_eq!(batch.cause, FlushCause::Deadline);
         assert!(start.elapsed() >= Duration::from_millis(4), "flushed before the deadline");
+        batcher.finish_batch();
+        batcher.finish_batch();
+    }
+
+    #[test]
+    fn lone_batch_dispatches_solo_ahead_of_its_deadline() {
+        let c = RqcConfig::small(2, 2, 4, 3).build();
+        let compiled = compiled_for(&c);
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 1000,
+            batch_deadline: Duration::from_secs(60),
+            max_queue: 100,
+        });
+        batcher.enqueue(compiled, entry(c.num_qubits(), 1).0).unwrap();
+        let start = Instant::now();
+        let batch = batcher.next_batch().expect("solo flush");
+        assert_eq!(batch.cause, FlushCause::Solo);
+        assert_eq!(batch.amplitudes, 1);
+        assert!(start.elapsed() < Duration::from_secs(1), "solo dispatch must not wait");
+        assert_eq!(batcher.queued_amplitudes(), 0);
+    }
+
+    #[test]
+    fn finish_batch_releases_the_next_lone_batch() {
+        let c = RqcConfig::small(2, 2, 4, 3).build();
+        let compiled = compiled_for(&c);
+        let n = c.num_qubits();
+        let batcher = Batcher::new(BatchConfig {
+            max_batch: 1000,
+            batch_deadline: Duration::from_secs(60),
+            max_queue: 100,
+        });
+        batcher.enqueue(Arc::clone(&compiled), entry(n, 1).0).unwrap();
+        assert_eq!(batcher.next_batch().expect("first solo").cause, FlushCause::Solo);
+        // While the first batch executes, a newly opened lone batch parks
+        // (nothing is ready, so a claim now would have to wait 60 s)...
+        batcher.enqueue(compiled, entry(n, 1).0).unwrap();
+        // ...until the execution finishes, which makes it solo-ready.
+        batcher.finish_batch();
+        let start = Instant::now();
+        let batch = batcher.next_batch().expect("second solo");
+        assert_eq!(batch.cause, FlushCause::Solo);
+        assert!(start.elapsed() < Duration::from_secs(1), "finish_batch must release it");
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct ServiceMetrics {
     pub deadline_flushes: AtomicU64,
     /// Batches flushed because they reached the configured maximum size.
     pub size_flushes: AtomicU64,
+    /// Batches dispatched ahead of their deadline because they were the
+    /// only admitted work in flight (waiting could not attract partners).
+    pub solo_flushes: AtomicU64,
     /// Batches flushed by shutdown drain.
     pub drain_flushes: AtomicU64,
     /// Microseconds the oldest entry of each dispatched batch spent queued,
@@ -60,6 +63,7 @@ impl ServiceMetrics {
             batched_amplitudes: load(&self.batched_amplitudes),
             deadline_flushes: load(&self.deadline_flushes),
             size_flushes: load(&self.size_flushes),
+            solo_flushes: load(&self.solo_flushes),
             drain_flushes: load(&self.drain_flushes),
             queue_micros: load(&self.queue_micros),
             plans_built: plans_built as u64,
@@ -93,6 +97,8 @@ pub struct MetricsSnapshot {
     pub deadline_flushes: u64,
     /// See [`ServiceMetrics::size_flushes`].
     pub size_flushes: u64,
+    /// See [`ServiceMetrics::solo_flushes`].
+    pub solo_flushes: u64,
     /// See [`ServiceMetrics::drain_flushes`].
     pub drain_flushes: u64,
     /// See [`ServiceMetrics::queue_micros`].
@@ -120,7 +126,7 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut obj = qtnsim_core::json::JsonObject::new();
         obj.field_str("schema", "qtnsim-serve/stats")
-            .field_u64("version", 1)
+            .field_u64("version", 2)
             .field_u64("requests_accepted", self.requests_accepted)
             .field_u64("requests_completed", self.requests_completed)
             .field_u64("requests_shed", self.requests_shed)
@@ -131,6 +137,7 @@ impl MetricsSnapshot {
             .field_f64("mean_batch_occupancy", self.mean_batch_occupancy())
             .field_u64("deadline_flushes", self.deadline_flushes)
             .field_u64("size_flushes", self.size_flushes)
+            .field_u64("solo_flushes", self.solo_flushes)
             .field_u64("drain_flushes", self.drain_flushes)
             .field_u64("queue_micros", self.queue_micros)
             .field_u64("plans_built", self.plans_built)
@@ -161,6 +168,8 @@ mod tests {
             "\"plan_cache_hits\": 3",
             "\"flops\": 1234",
             "\"schema\": \"qtnsim-serve/stats\"",
+            "\"version\": 2",
+            "\"solo_flushes\": 0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

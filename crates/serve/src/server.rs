@@ -12,8 +12,10 @@
 //!    micro-batch, or is refused with an explicit `Shed` frame when the
 //!    bounded queue is full, the plan busts `memory_budget_bytes`, or the
 //!    server is draining.
-//! 4. **Dispatch** — dispatcher threads claim batches that filled up or hit
-//!    their latency deadline and run **one**
+//! 4. **Dispatch** — dispatcher threads claim batches that filled up, hit
+//!    their latency deadline, or were the only admitted work in flight
+//!    (solo dispatch skips a deadline that could not attract partners) and
+//!    run **one**
 //!    [`qtnsim_core::CompiledCircuit::execute_amplitudes`] per batch, so every coalesced
 //!    request shares the StemPure prefix sweep.
 //! 5. **Reduce + respond** — the batch's amplitudes are split back per
@@ -368,12 +370,18 @@ fn dispatch_loop(shared: Arc<Shared>) {
         match batch.cause {
             FlushCause::Full => m.size_flushes.fetch_add(1, Ordering::Relaxed),
             FlushCause::Deadline => m.deadline_flushes.fetch_add(1, Ordering::Relaxed),
+            FlushCause::Solo => m.solo_flushes.fetch_add(1, Ordering::Relaxed),
             FlushCause::Drain => m.drain_flushes.fetch_add(1, Ordering::Relaxed),
         };
 
         let all_bits: Vec<&[u8]> =
             batch.entries.iter().flat_map(|e| e.bitstrings.iter().map(Vec::as_slice)).collect();
-        match batch.compiled.execute_amplitudes(&all_bits) {
+        let executed = batch.compiled.execute_amplitudes(&all_bits);
+        // Tell the batcher the engine is free *before* delivering responses:
+        // a lone batch that opened during this execution becomes solo-ready
+        // without waiting on slow client writers.
+        shared.batcher.finish_batch();
+        match executed {
             Ok((amplitudes, report)) => {
                 m.absorb_execution(&report.stats);
                 let deadline_flush = batch.cause == FlushCause::Deadline;

@@ -104,6 +104,57 @@ impl NodeClass {
     }
 }
 
+/// Per-node projector-dependency masks: which overridable leaves each
+/// node's subtree contains, as a bitset over the *ordinals* of the
+/// `overridable_leaves` slice handed to [`classify_nodes`] (bit `i` set ⇔
+/// the subtree contains the leaf at `overridable_leaves[i]`).
+///
+/// A projector-dependent node's tensor is a function of exactly the output
+/// bits its mask names — two bitstrings that agree on those bits produce
+/// the same tensor at that node. This is what lets a batched execution
+/// dedup Frontier and StemMixed intermediates per distinct masked-bit key
+/// instead of per bitstring. Masks propagate by union up the tree
+/// (`mask(out) = mask(l) | mask(r)`), so they form a laminar family:
+/// along any root-ward path masks only grow.
+#[derive(Debug, Clone, Default)]
+pub struct ProjectorMasks {
+    words_per_node: usize,
+    num_projectors: usize,
+    bits: Vec<u64>,
+}
+
+impl ProjectorMasks {
+    /// Number of overridable leaves the masks range over (the bit width).
+    pub fn num_projectors(&self) -> usize {
+        self.num_projectors
+    }
+
+    /// `u64` words per node mask.
+    pub fn words_per_node(&self) -> usize {
+        self.words_per_node
+    }
+
+    /// The mask of one node, as little-endian `u64` words (bit `i` of the
+    /// flattened words is projector ordinal `i`). Empty when no leaves are
+    /// overridable.
+    pub fn mask(&self, node: usize) -> &[u64] {
+        let start = node * self.words_per_node;
+        &self.bits[start..start + self.words_per_node]
+    }
+
+    /// How many projector ordinals the node's subtree depends on.
+    pub fn popcount(&self, node: usize) -> usize {
+        self.mask(node).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The projector ordinals set in a node's mask, ascending.
+    pub fn ordinals(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
+        self.mask(node).iter().enumerate().flat_map(|(w, &word)| {
+            (0..64).filter(move |b| word >> b & 1 == 1).map(move |b| w * 64 + b)
+        })
+    }
+}
+
 /// The classification of every node of a contraction tree, with the derived
 /// per-class schedules and keep sets the executor needs.
 #[derive(Debug, Clone)]
@@ -119,6 +170,7 @@ pub struct NodeClassification {
     frontier_keep: Vec<usize>,
     stem_pure_keep: Vec<usize>,
     stem_seeds: Vec<usize>,
+    projector_masks: ProjectorMasks,
 }
 
 impl NodeClassification {
@@ -205,6 +257,14 @@ impl NodeClassification {
         &self.stem_seeds
     }
 
+    /// Per-node projector-dependency masks over overridable-leaf ordinals
+    /// (see [`ProjectorMasks`]). The mask of a Branch or StemPure node is
+    /// empty; a Frontier or StemMixed node's mask names exactly the output
+    /// bits its tensor depends on.
+    pub fn projector_masks(&self) -> &ProjectorMasks {
+        &self.projector_masks
+    }
+
     /// Number of internal (contraction) nodes of each class, as
     /// `(branch, frontier, stem_pure, stem_mixed)`.
     pub fn contraction_counts(&self) -> (usize, usize, usize, usize) {
@@ -247,11 +307,28 @@ pub fn classify_nodes(
         }
     }
 
+    // Projector-dependency masks over overridable-leaf ordinals: a leaf
+    // seeds its own ordinal bit, internal nodes union their children in the
+    // same child-before-parent pass that propagates the class join.
+    let words_per_node = overridable_leaves.len().div_ceil(64);
+    let mut mask_bits = vec![0u64; nodes.len() * words_per_node];
+    for (ordinal, vertex) in overridable_leaves.iter().enumerate() {
+        for (id, node) in nodes.iter().enumerate() {
+            if node.leaf_vertex == Some(*vertex) {
+                mask_bits[id * words_per_node + ordinal / 64] |= 1u64 << (ordinal % 64);
+            }
+        }
+    }
+
     // Internal nodes in execution order (children precede parents), so a
     // single pass propagates the lattice join upward.
     let schedule = tree.schedule();
     for &(l, r, out) in &schedule {
         classes[out] = classes[l].join(classes[r]);
+        for w in 0..words_per_node {
+            mask_bits[out * words_per_node + w] =
+                mask_bits[l * words_per_node + w] | mask_bits[r * words_per_node + w];
+        }
     }
 
     let mut branch_schedule = Vec::new();
@@ -326,6 +403,11 @@ pub fn classify_nodes(
         frontier_keep,
         stem_pure_keep,
         stem_seeds,
+        projector_masks: ProjectorMasks {
+            words_per_node,
+            num_projectors: overridable_leaves.len(),
+            bits: mask_bits,
+        },
     }
 }
 
@@ -490,6 +572,71 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn projector_masks_union_up_the_tree() {
+        let (_, tree) = chain4_tree();
+        // Override leaves 0 and 3 (ordinals 0 and 1), slice edge 1.
+        let c = classify_nodes(&tree, &[1], &[0, 3]);
+        let m = c.projector_masks();
+        assert_eq!(m.num_projectors(), 2);
+        assert_eq!(m.words_per_node(), 1);
+        // Leaves seed their own ordinal; non-overridable leaves are empty.
+        assert_eq!(m.mask(0), &[0b01]);
+        assert_eq!(m.mask(1), &[0]);
+        assert_eq!(m.mask(2), &[0]);
+        assert_eq!(m.mask(3), &[0b10]);
+        // Internals union their children: 4 = 0+1, 5 = 4+2, 6 = 5+3.
+        assert_eq!(m.mask(4), &[0b01]);
+        assert_eq!(m.mask(5), &[0b01]);
+        assert_eq!(m.mask(6), &[0b11]);
+        assert_eq!(m.popcount(6), 2);
+        assert_eq!(m.ordinals(6).collect::<Vec<_>>(), vec![0, 1]);
+        // Masks are laminar: parent masks contain child masks.
+        for (id, node) in tree.nodes().iter().enumerate() {
+            if let Some(p) = node.parent {
+                for w in 0..m.words_per_node() {
+                    assert_eq!(
+                        m.mask(p)[w] & m.mask(id)[w],
+                        m.mask(id)[w],
+                        "parent mask must contain child mask"
+                    );
+                }
+            }
+        }
+        // Mask non-emptiness coincides with projector dependency.
+        for id in 0..tree.nodes().len() {
+            assert_eq!(c.class(id).depends_on_projector(), m.popcount(id) > 0);
+        }
+    }
+
+    #[test]
+    fn projector_masks_span_multiple_words() {
+        // A star of 70 overridable rank-1 leaves sharing one hub: every
+        // ordinal past 63 must land in the second mask word.
+        let n = 70;
+        let mut sets: Vec<IndexSet> = (0..n).map(|i| IndexSet::new(vec![i as u32])).collect();
+        sets.push(IndexSet::new((0..n as u32).collect()));
+        let g = TensorNetwork::new(&sets);
+        // Fold leaves into the hub one by one: (hub, 0) -> n+1, ...
+        let mut pairs = Vec::new();
+        let mut acc = n; // the hub vertex/node id
+        for leaf in 0..n {
+            pairs.push((acc, leaf));
+            acc = n + 1 + leaf;
+        }
+        let tree = ContractionTree::from_pairs(&g, &pairs);
+        let overridable: Vec<usize> = (0..n).collect();
+        let c = classify_nodes(&tree, &[], &overridable);
+        let m = c.projector_masks();
+        assert_eq!(m.num_projectors(), 70);
+        assert_eq!(m.words_per_node(), 2);
+        assert_eq!(m.mask(69), &[0, 1 << 5], "ordinal 69 lives in word 1 bit 5");
+        let root = tree.root();
+        assert_eq!(m.popcount(root), 70);
+        assert_eq!(m.mask(root), &[u64::MAX, (1 << 6) - 1]);
+        assert_eq!(m.ordinals(root).count(), 70);
     }
 
     #[test]

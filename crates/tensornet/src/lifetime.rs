@@ -40,13 +40,17 @@
 //! Batched multi-amplitude execution gets its own phase plan
 //! ([`MemoryPlan::batched_stem`]): per subtask the StemPure prefix is
 //! contracted once and its keep-set tensors stay checked out of the pool
-//! across the whole bitstring batch, while the StemMixed suffix is replayed
-//! per bitstring on top of them. The simulation runs exactly that sequence
-//! (pure leaves, pure schedule, then one mixed pass with the pure keeps
-//! still live — later passes recycle the first pass's buffers, so one pass
-//! determines both the peak and the slot count), which is why a batched
-//! pooled execution's `peak_bytes_in_flight` equals
-//! `batched_stem.peak_bytes()` exactly.
+//! across the whole bitstring batch, while the *keyed* StemMixed suffix is
+//! replayed on top of them. The executor holds **one buffer per StemMixed
+//! node** (leaves and step outputs alike) across the entire bitstring loop
+//! and overwrites a node's buffer in place only when its dependent-bits
+//! key changes — so the live set of the suffix is constant and only the
+//! per-step TTGT permutation scratch is transient. The simulation runs
+//! exactly that sequence (pure leaves, pure schedule, then every mixed
+//! buffer acquired up front followed by one scratch-only pass over the
+//! mixed schedule), which is why a batched pooled execution's
+//! `peak_bytes_in_flight` equals `batched_stem.peak_bytes()` exactly,
+//! regardless of batch size or which keys the batch happens to contain.
 
 use crate::classify::{NodeClass, NodeClassification};
 use crate::tree::ContractionTree;
@@ -160,9 +164,11 @@ pub struct MemoryPlan {
     /// StemMixed replay, run `2^|S|` times — the pooled hot loop.
     pub stem: PhaseMemoryPlan,
     /// Per-subtask phase of a **batched** execution: the StemPure prefix
-    /// contracted once with its keep set held live, then one StemMixed pass
-    /// on top of it (every further bitstring of the batch recycles the
-    /// first pass's buffers, so one pass fixes both peak and slot count).
+    /// contracted once with its keep set held live, then the keyed
+    /// StemMixed suffix — one buffer per mixed node acquired up front and
+    /// held across the whole bitstring loop (recomputes overwrite in
+    /// place), with only per-step permutation scratch transient. One pass
+    /// fixes both peak and slot count for any batch.
     pub batched_stem: PhaseMemoryPlan,
 }
 
@@ -351,9 +357,15 @@ fn analyze_phase(
 
 /// Simulate one batched-execution subtask: the StemPure prefix runs first
 /// (its keep set — every pure buffer no pure contraction consumes — stays
-/// checked out), then one StemMixed pass on top of it. Every subsequent
-/// bitstring of the batch replays the mixed pass against warm free lists,
-/// so a single pass fixes both the exact peak and the slot count.
+/// checked out), then the keyed StemMixed suffix. The executor acquires
+/// one buffer per mixed node (leaves and step outputs, node-id order) at
+/// suffix start and holds them across the whole bitstring loop — a node
+/// whose dependent-bits key changes is recomputed *in place* (the
+/// contraction kernel overwrites its output buffer), so no mixed buffer is
+/// ever released inside the loop and only each step's TTGT permutation
+/// scratch is transient. The live set is therefore constant and one pass
+/// over the mixed schedule fixes the exact peak and slot count for any
+/// batch content.
 fn analyze_batched_stem(
     tree: &ContractionTree,
     classification: &NodeClassification,
@@ -364,9 +376,31 @@ fn analyze_batched_stem(
     let mixed = |c: NodeClass| c == NodeClass::StemMixed;
     sim.materialize_leaves(tree, classification, sliced, pure);
     sim.replay(tree, classification, sliced, classification.stem_pure_schedule(), pure);
-    sim.step += 1; // mixed leaves of the first bitstring
+    // Keyed suffix: every mixed buffer up front (leaves in node-id order,
+    // then step outputs — output ids ascend, so this is node-id order over
+    // all mixed nodes), held to the end of the subtask.
+    sim.step += 1;
     sim.materialize_leaves(tree, classification, sliced, mixed);
-    sim.replay(tree, classification, sliced, classification.stem_mixed_schedule(), mixed);
+    for &(_, _, out) in classification.stem_mixed_schedule() {
+        let rank = effective_rank(tree, sliced, out);
+        let slot = sim.sim.acquire(rank);
+        sim.interval_of.insert(out, sim.intervals.len());
+        sim.intervals.push(BufferInterval {
+            node: out,
+            rank,
+            produced: sim.step,
+            consumed: None,
+            slot,
+        });
+    }
+    // One pass over the mixed schedule: only scratch comes and goes.
+    for &(l, r, _) in classification.stem_mixed_schedule() {
+        sim.step += 1;
+        let left_scratch = sim.sim.acquire(effective_rank(tree, sliced, l));
+        let right_scratch = sim.sim.acquire(effective_rank(tree, sliced, r));
+        sim.sim.release(left_scratch);
+        sim.sim.release(right_scratch);
+    }
     sim.finish()
 }
 
@@ -561,7 +595,8 @@ mod tests {
         //   step1 (0,1→4): +scratch 16+32 +out 32 → 128; drop to 32
         //   step2 (4,2→5): +scratch 32+64 (branch operand 2 keeps its
         //     full rank 2) +out 32 → 160 ← peak; drop to 32 (node5 kept)
-        //   mixed pass (5,3→6): node5 held + scratch 32+32 + out 16 → 112
+        //   keyed suffix: root buffer (16) acquired up front → 48 held;
+        //   pass (5,3→6): +scratch 32+32 → 112; scratch released.
         assert_eq!(plan.batched_stem.peak_bytes(), 160);
         // Outliving the pass: the held pure keep (node5) and the root.
         assert_eq!(plan.batched_stem.kept_bytes(), 32 + 16);
@@ -576,6 +611,39 @@ mod tests {
         assert_eq!(slots.get(&1), Some(&3));
         assert_eq!(slots.get(&2), Some(&1));
         assert_eq!(plan.batched_stem.num_slots(), 6);
+    }
+
+    #[test]
+    fn keyed_suffix_holds_every_mixed_buffer_across_the_bitstring_loop() {
+        let tree = chain4_tree();
+        // Slice edge 0, override leaves 2 and 3: classes are 0,1,4 =
+        // StemPure; 2,3 = Frontier; 5,6 = StemMixed — a two-step mixed
+        // suffix whose intermediate (node5) a per-bitstring replay would
+        // consume, but the keyed suffix holds for in-place recomputes.
+        let cls = classify_nodes(&tree, &[0], &[2, 3]);
+        let plan = analyze_memory(&tree, &cls, &[0]);
+
+        // Hand simulation (bytes; sliced ranks: leaf0 r0, leaf1 r1,
+        // node4 r1, node5 r1, root r0):
+        //   pure: t0 leaves 0+1 = 48; step1 (0,1→4): +16+32 scratch
+        //     +32 out → 128; drop to 32 (node4 kept).
+        //   suffix up-front: node5 (32) + root (16) held → 80.
+        //   pass (4,2→5): +scratch 32+64 (frontier operand 2 at full
+        //     rank 2) → 176 ← peak; scratch released → 80.
+        //   pass (5,3→6): +scratch 32+32 → 144.
+        assert_eq!(plan.batched_stem.peak_bytes(), 176);
+        // Everything held: node4 (pure keep) + node5 + root outlive the
+        // suffix — mixed buffers are never consumed inside the loop.
+        assert_eq!(plan.batched_stem.kept_bytes(), 32 + 32 + 16);
+        for node in [5, 6] {
+            let iv = plan
+                .batched_stem
+                .intervals()
+                .iter()
+                .find(|iv| iv.node == node)
+                .expect("mixed interval");
+            assert_eq!(iv.consumed, None, "mixed buffers are held, never consumed");
+        }
     }
 
     #[test]
