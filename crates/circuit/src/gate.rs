@@ -87,6 +87,43 @@ impl Gate {
         Gate::FSim { theta: PI / 2.0, phi: PI / 6.0 }
     }
 
+    /// Names of the gate's free (sweepable) parameters, in the order
+    /// `param_index` arguments address them. Empty for non-parameterized
+    /// gates; the rotation gates expose `theta`, `FSim` exposes
+    /// `theta` and `phi`.
+    pub fn param_names(&self) -> &'static [&'static str] {
+        match self {
+            Gate::Rz(_) | Gate::Rx(_) | Gate::Ry(_) => &["theta"],
+            Gate::FSim { .. } => &["theta", "phi"],
+            _ => &[],
+        }
+    }
+
+    /// Current values of the gate's free parameters, aligned with
+    /// [`Gate::param_names`].
+    pub fn params(&self) -> Vec<f64> {
+        match self {
+            Gate::Rz(t) | Gate::Rx(t) | Gate::Ry(t) => vec![*t],
+            Gate::FSim { theta, phi } => vec![*theta, *phi],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The same gate with parameter `param_index` replaced by `value`
+    /// (radians). Returns `None` when the gate has no such parameter —
+    /// every other parameter keeps its current value, so rebinding one
+    /// `FSim` angle preserves the other.
+    pub fn with_param(&self, param_index: usize, value: f64) -> Option<Gate> {
+        match (self, param_index) {
+            (Gate::Rz(_), 0) => Some(Gate::Rz(value)),
+            (Gate::Rx(_), 0) => Some(Gate::Rx(value)),
+            (Gate::Ry(_), 0) => Some(Gate::Ry(value)),
+            (Gate::FSim { phi, .. }, 0) => Some(Gate::FSim { theta: value, phi: *phi }),
+            (Gate::FSim { theta, .. }, 1) => Some(Gate::FSim { theta: *theta, phi: value }),
+            _ => None,
+        }
+    }
+
     /// Row-major unitary matrix of the gate (length 4 for single-qubit,
     /// 16 for two-qubit gates).
     pub fn matrix(&self) -> Vec<Complex64> {
@@ -327,6 +364,31 @@ mod tests {
         assert_eq!(m[2 * 4 + 3], Complex64::ONE);
         assert_eq!(m[0], Complex64::ONE);
         assert_eq!(m[5], Complex64::ONE);
+    }
+
+    #[test]
+    fn param_accessors_cover_the_parameterized_gates() {
+        assert_eq!(Gate::Rz(0.3).param_names(), &["theta"]);
+        assert_eq!(Gate::Rz(0.3).params(), vec![0.3]);
+        assert_eq!(Gate::FSim { theta: 0.4, phi: 1.1 }.param_names(), &["theta", "phi"]);
+        assert_eq!(Gate::FSim { theta: 0.4, phi: 1.1 }.params(), vec![0.4, 1.1]);
+        assert!(Gate::H.param_names().is_empty());
+        assert!(Gate::Cz.params().is_empty());
+    }
+
+    #[test]
+    fn with_param_replaces_one_angle_and_keeps_the_rest() {
+        assert_eq!(Gate::Rx(0.1).with_param(0, 2.5), Some(Gate::Rx(2.5)));
+        assert_eq!(
+            Gate::FSim { theta: 0.4, phi: 1.1 }.with_param(1, -0.2),
+            Some(Gate::FSim { theta: 0.4, phi: -0.2 })
+        );
+        assert_eq!(
+            Gate::FSim { theta: 0.4, phi: 1.1 }.with_param(0, 0.9),
+            Some(Gate::FSim { theta: 0.9, phi: 1.1 })
+        );
+        assert_eq!(Gate::Ry(0.1).with_param(1, 2.5), None, "Ry has a single parameter");
+        assert_eq!(Gate::H.with_param(0, 1.0), None, "H has no parameters");
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub use gate::Gate;
 pub use layout::{GridLayout, SYCAMORE_QUBITS};
 pub use library::{ghz, qaoa_ansatz, qft};
 pub use network::{
-    circuit_to_network, contract_network_naive, NetworkBuild, OutputSpec, RebindError, TensorNode,
+    circuit_to_network, contract_network_naive, NetworkBuild, OutputSpec, ParamSlot, RebindError,
+    TensorNode,
 };
-pub use qsim::{parse_qsim, write_qsim, QsimParseError};
+pub use qsim::{parse_qsim, parse_qsim_with_slots, write_qsim, QsimParam, QsimParseError};
 pub use rqc::{sycamore_rqc, RqcConfig};

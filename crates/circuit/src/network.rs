@@ -9,6 +9,7 @@
 //! projection tensors or leaves wire indices open.
 
 use crate::circuit::Circuit;
+use crate::gate::Gate;
 use qtn_tensor::{c64, Complex64, DenseTensor, IndexId, IndexSet};
 
 /// One tensor of the generated network.
@@ -41,6 +42,81 @@ pub enum OutputSpec {
     },
 }
 
+/// One rebindable gate parameter discovered at network-build time.
+///
+/// Rotation gates (`Rz`/`Rx`/`Ry`, one angle) and `FSim` (two angles)
+/// contribute one slot per angle. Slots are stable for the lifetime of the
+/// build: rebinding a parameter changes the slot's `value` and regenerates
+/// the backing leaf tensor, but never the slot table, the network structure
+/// or any index — which is what makes plan reuse across parameter values
+/// sound (the same property `projector_leaves` gives output bitstrings).
+#[derive(Debug, Clone)]
+pub struct ParamSlot {
+    name: String,
+    op_index: usize,
+    param_index: usize,
+    leaf: usize,
+    value: f64,
+}
+
+impl ParamSlot {
+    /// Canonical slot name, e.g. `g3:rz[1].theta` or `g7:fsim[0,2].phi`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Index of the originating gate in `Circuit::ops()` order.
+    pub fn op_index(&self) -> usize {
+        self.op_index
+    }
+
+    /// Which of the gate's parameters this slot binds (see
+    /// [`Gate::param_names`]).
+    pub fn param_index(&self) -> usize {
+        self.param_index
+    }
+
+    /// Ordinal of the backing leaf in [`NetworkBuild::param_leaf_vertices`].
+    /// Both `FSim` angles of one gate share a leaf ordinal.
+    pub fn leaf(&self) -> usize {
+        self.leaf
+    }
+
+    /// Current bound value of the parameter.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A gate-tensor leaf regenerated from `gate.matrix()` on parameter rebinds.
+#[derive(Debug, Clone)]
+struct ParamLeaf {
+    /// Node index of the gate tensor in `NetworkBuild::nodes`.
+    node: usize,
+    /// The gate at its currently bound parameter values.
+    gate: Gate,
+}
+
+/// Canonical parameter-slot name: `g{op}:{kind}[{qubits}].{param}`. Shared
+/// with the qsim parser so text-format circuits surface the same names as
+/// [`circuit_to_network`].
+pub(crate) fn param_slot_name(
+    op_index: usize,
+    gate: &Gate,
+    qubits: &[usize],
+    param_index: usize,
+) -> String {
+    let kind = match gate {
+        Gate::Rz(_) => "rz",
+        Gate::Rx(_) => "rx",
+        Gate::Ry(_) => "ry",
+        Gate::FSim { .. } => "fsim",
+        g => unreachable!("gate {g:?} has no parameters"),
+    };
+    let qubits: Vec<String> = qubits.iter().map(usize::to_string).collect();
+    format!("g{op_index}:{kind}[{}].{}", qubits.join(","), gate.param_names()[param_index])
+}
+
 /// The result of converting a circuit.
 #[derive(Debug, Clone)]
 pub struct NetworkBuild {
@@ -57,6 +133,11 @@ pub struct NetworkBuild {
     /// bitstring; everything else (and the network structure itself) is
     /// bitstring-independent, which is what makes plan reuse sound.
     pub projector_leaves: Vec<(usize, usize)>,
+    /// Rebindable gate parameters in `Circuit::ops()` order (see
+    /// [`NetworkBuild::param_slots`]).
+    param_slots: Vec<ParamSlot>,
+    /// Gate-tensor leaves backing the slots, in slot-ordinal order.
+    param_leaves: Vec<ParamLeaf>,
 }
 
 /// Why an output rebind was rejected.
@@ -76,6 +157,19 @@ pub enum RebindError {
         /// The offending value.
         value: u8,
     },
+    /// A parameter-slot index outside this build's slot table.
+    UnknownParamSlot {
+        /// The slot index that was supplied.
+        slot: usize,
+        /// Number of slots the build has.
+        slots: usize,
+    },
+    /// A non-finite (NaN or infinite) parameter value was supplied. The
+    /// offending value itself is not carried so the error stays `Eq`.
+    NonFiniteParam {
+        /// The slot the value was destined for.
+        slot: usize,
+    },
 }
 
 impl std::fmt::Display for RebindError {
@@ -86,6 +180,12 @@ impl std::fmt::Display for RebindError {
             }
             RebindError::InvalidBit { qubit, value } => {
                 write!(f, "bit value {value} for qubit {qubit} is not 0 or 1")
+            }
+            RebindError::UnknownParamSlot { slot, slots } => {
+                write!(f, "parameter slot {slot} out of range for a build with {slots} slots")
+            }
+            RebindError::NonFiniteParam { slot } => {
+                write!(f, "non-finite value for parameter slot {slot}")
             }
         }
     }
@@ -106,33 +206,143 @@ impl NetworkBuild {
         &self,
         bits: &[u8],
     ) -> Result<Vec<(usize, DenseTensor<Complex64>)>, RebindError> {
+        let mut overrides = Vec::new();
+        self.rebind_output_into(bits, &mut overrides)?;
+        Ok(overrides)
+    }
+
+    /// [`NetworkBuild::rebind_output`] into a caller-owned vector, reusing
+    /// the projector tensors already in `overrides` (same shape, same wire)
+    /// instead of allocating fresh ones — the hot path for sweeps that
+    /// rebind the output bitstring many times over one plan. On error,
+    /// `overrides` is left exactly as it was.
+    pub fn rebind_output_into(
+        &self,
+        bits: &[u8],
+        overrides: &mut Vec<(usize, DenseTensor<Complex64>)>,
+    ) -> Result<(), RebindError> {
+        self.validate_bits(bits)?;
+        overrides.truncate(self.projector_leaves.len());
+        for (i, &(qubit, node)) in self.projector_leaves.iter().enumerate() {
+            let wire = self.nodes[node].indices.axes()[0];
+            let reusable = overrides
+                .get(i)
+                .is_some_and(|(_, t)| t.data().len() == 2 && t.indices().axes() == [wire]);
+            if reusable {
+                let (id, tensor) = &mut overrides[i];
+                *id = node;
+                write_projector(tensor.data_mut(), bits[qubit]);
+            } else {
+                let fresh = (node, projection_node(qubit, wire, bits[qubit]).data);
+                if i < overrides.len() {
+                    overrides[i] = fresh;
+                } else {
+                    overrides.push(fresh);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrite the projector leaves in place to target a new bitstring,
+    /// reusing the existing leaf buffers (the wire index of each projector
+    /// never changes, so neither do its `indices`). Mutating sibling of
+    /// [`NetworkBuild::rebind_output`]. On error the build is untouched.
+    pub fn rebind_output_in_place(&mut self, bits: &[u8]) -> Result<(), RebindError> {
+        self.validate_bits(bits)?;
+        for i in 0..self.projector_leaves.len() {
+            let (qubit, node) = self.projector_leaves[i];
+            write_projector(self.nodes[node].data.data_mut(), bits[qubit]);
+        }
+        Ok(())
+    }
+
+    /// Rewrite the projector leaves in place to target a new bitstring.
+    /// Alias of [`NetworkBuild::rebind_output_in_place`], kept for the
+    /// original rebind API surface.
+    pub fn apply_rebind(&mut self, bits: &[u8]) -> Result<(), RebindError> {
+        self.rebind_output_in_place(bits)
+    }
+
+    fn validate_bits(&self, bits: &[u8]) -> Result<(), RebindError> {
         if bits.len() != self.num_qubits {
             return Err(RebindError::BitstringLength {
                 expected: self.num_qubits,
                 got: bits.len(),
             });
         }
-        let mut overrides = Vec::with_capacity(self.projector_leaves.len());
-        for &(qubit, node) in &self.projector_leaves {
-            let bit = bits[qubit];
-            if bit > 1 {
-                return Err(RebindError::InvalidBit { qubit, value: bit });
+        for &(qubit, _) in &self.projector_leaves {
+            if bits[qubit] > 1 {
+                return Err(RebindError::InvalidBit { qubit, value: bits[qubit] });
             }
-            let wire = self.nodes[node].indices.axes()[0];
-            overrides.push((node, projection_node(qubit, wire, bit).data));
-        }
-        Ok(overrides)
-    }
-
-    /// Rewrite the projector leaves in place to target a new bitstring.
-    /// Mutating sibling of [`NetworkBuild::rebind_output`].
-    pub fn apply_rebind(&mut self, bits: &[u8]) -> Result<(), RebindError> {
-        for (node, data) in self.rebind_output(bits)? {
-            self.nodes[node].indices = data.indices().clone();
-            self.nodes[node].data = data;
         }
         Ok(())
     }
+
+    /// The rebindable gate parameters discovered at build time, in
+    /// `Circuit::ops()` order (for multi-parameter gates, in
+    /// [`Gate::param_names`] order within the gate).
+    pub fn param_slots(&self) -> &[ParamSlot] {
+        &self.param_slots
+    }
+
+    /// Look up a slot by its canonical [`ParamSlot::name`].
+    pub fn param_slot_index(&self, name: &str) -> Option<usize> {
+        self.param_slots.iter().position(|s| s.name == name)
+    }
+
+    /// Node indices of the gate-tensor leaves backing the parameter slots,
+    /// in leaf-ordinal order ([`ParamSlot::leaf`] indexes into this).
+    pub fn param_leaf_vertices(&self) -> Vec<usize> {
+        self.param_leaves.iter().map(|leaf| leaf.node).collect()
+    }
+
+    /// Rebind gate parameters in place: set each `(slot, value)` pair and
+    /// regenerate the affected gate-tensor leaves from the gate's unitary at
+    /// the new values. No index, shape or structure changes — a plan built
+    /// over this network stays valid; only caches holding *contracted* data
+    /// that depends on a touched leaf need invalidation.
+    ///
+    /// Returns the touched leaf ordinals (sorted, deduplicated) so callers
+    /// can compute that invalidation cone. All updates are validated before
+    /// any is applied: on error the build is untouched. Duplicate slots in
+    /// `updates` are allowed; the last value wins.
+    pub fn rebind_parameters(
+        &mut self,
+        updates: &[(usize, f64)],
+    ) -> Result<Vec<usize>, RebindError> {
+        for &(slot, value) in updates {
+            if slot >= self.param_slots.len() {
+                return Err(RebindError::UnknownParamSlot { slot, slots: self.param_slots.len() });
+            }
+            if !value.is_finite() {
+                return Err(RebindError::NonFiniteParam { slot });
+            }
+        }
+        let mut touched = Vec::with_capacity(updates.len());
+        for &(slot, value) in updates {
+            let slot = &mut self.param_slots[slot];
+            let leaf = &mut self.param_leaves[slot.leaf];
+            leaf.gate = leaf
+                .gate
+                .with_param(slot.param_index, value)
+                .expect("slot table maps onto the gate's parameters");
+            slot.value = value;
+            touched.push(slot.leaf);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &ordinal in &touched {
+            let leaf = &self.param_leaves[ordinal];
+            self.nodes[leaf.node].data.data_mut().copy_from_slice(&leaf.gate.matrix());
+        }
+        Ok(touched)
+    }
+}
+
+fn write_projector(data: &mut [Complex64], bit: u8) {
+    data[0] = if bit == 0 { Complex64::ONE } else { Complex64::ZERO };
+    data[1] = if bit == 0 { Complex64::ZERO } else { Complex64::ONE };
 }
 
 /// Convert a circuit and output specification into a tensor network.
@@ -161,8 +371,23 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
     }
 
     // Gates.
+    let mut param_slots = Vec::new();
+    let mut param_leaves: Vec<ParamLeaf> = Vec::new();
     for (g_idx, op) in circuit.ops().iter().enumerate() {
         let m = op.gate.matrix();
+        if !op.gate.param_names().is_empty() {
+            let leaf = param_leaves.len();
+            param_leaves.push(ParamLeaf { node: nodes.len(), gate: op.gate.clone() });
+            for (param_index, value) in op.gate.params().into_iter().enumerate() {
+                param_slots.push(ParamSlot {
+                    name: param_slot_name(g_idx, &op.gate, &op.qubits, param_index),
+                    op_index: g_idx,
+                    param_index,
+                    leaf,
+                    value,
+                });
+            }
+        }
         match op.qubits.len() {
             1 => {
                 let q = op.qubits[0];
@@ -224,7 +449,15 @@ pub fn circuit_to_network(circuit: &Circuit, output: &OutputSpec) -> NetworkBuil
         }
     }
 
-    NetworkBuild { nodes, open_indices, num_indices: next_index, num_qubits: n, projector_leaves }
+    NetworkBuild {
+        nodes,
+        open_indices,
+        num_indices: next_index,
+        num_qubits: n,
+        projector_leaves,
+        param_slots,
+        param_leaves,
+    }
 }
 
 fn projection_node(q: usize, w: IndexId, bit: u8) -> TensorNode {
@@ -420,5 +653,123 @@ mod tests {
             build.rebind_output(&[0, 2]),
             Err(RebindError::InvalidBit { qubit: 1, value: 2 })
         );
+    }
+
+    #[test]
+    fn rebind_output_in_place_reuses_leaf_buffers() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let mut build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0]));
+        let ptrs: Vec<_> = build
+            .projector_leaves
+            .iter()
+            .map(|&(_, n)| build.nodes[n].data.data().as_ptr())
+            .collect();
+        build.rebind_output_in_place(&[1, 1]).unwrap();
+        let after: Vec<_> = build
+            .projector_leaves
+            .iter()
+            .map(|&(_, n)| build.nodes[n].data.data().as_ptr())
+            .collect();
+        assert_eq!(ptrs, after, "in-place rebind must not reallocate projector buffers");
+        let h = 1.0 / 2f64.sqrt();
+        assert!((contract_network_naive(&build).scalar_value() - c64(h, 0.0)).abs() < 1e-12);
+        // A failed rebind leaves the build untouched.
+        let snapshot: Vec<_> = build.nodes.iter().map(|n| n.data.clone()).collect();
+        assert!(build.rebind_output_in_place(&[1, 2]).is_err());
+        let unchanged: Vec<_> = build.nodes.iter().map(|n| n.data.clone()).collect();
+        assert_eq!(snapshot, unchanged);
+    }
+
+    #[test]
+    fn rebind_output_into_reuses_caller_buffers() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::H, 0).push2(Gate::Cnot, 0, 1);
+        let build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0]));
+        let mut overrides = Vec::new();
+        build.rebind_output_into(&[1, 1], &mut overrides).unwrap();
+        assert_eq!(overrides, build.rebind_output(&[1, 1]).unwrap());
+        let ptrs: Vec<_> = overrides.iter().map(|(_, t)| t.data().as_ptr()).collect();
+        build.rebind_output_into(&[0, 1], &mut overrides).unwrap();
+        let after: Vec<_> = overrides.iter().map(|(_, t)| t.data().as_ptr()).collect();
+        assert_eq!(ptrs, after, "second rebind must reuse the caller's tensors");
+        assert_eq!(overrides, build.rebind_output(&[0, 1]).unwrap());
+        // A failed rebind leaves the caller's vector exactly as it was.
+        let snapshot = overrides.clone();
+        assert!(build.rebind_output_into(&[0, 7], &mut overrides).is_err());
+        assert_eq!(overrides, snapshot);
+    }
+
+    #[test]
+    fn param_slots_cover_parameterized_gates_with_canonical_names() {
+        let mut c = Circuit::new(3);
+        c.push1(Gate::H, 0)
+            .push1(Gate::Rz(0.25), 1)
+            .push2(Gate::FSim { theta: 0.5, phi: -0.75 }, 0, 2)
+            .push1(Gate::Ry(1.5), 1);
+        let build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0, 0, 0]));
+        let names: Vec<_> = build.param_slots().iter().map(ParamSlot::name).collect();
+        assert_eq!(
+            names,
+            ["g1:rz[1].theta", "g2:fsim[0,2].theta", "g2:fsim[0,2].phi", "g3:ry[1].theta"]
+        );
+        let values: Vec<_> = build.param_slots().iter().map(ParamSlot::value).collect();
+        assert_eq!(values, [0.25, 0.5, -0.75, 1.5]);
+        // Both FSim angles share one leaf; node ids follow circuit order
+        // (3 inits, then one node per gate).
+        let leaves: Vec<_> = build.param_slots().iter().map(ParamSlot::leaf).collect();
+        assert_eq!(leaves, [0, 1, 1, 2]);
+        assert_eq!(build.param_leaf_vertices(), [4, 5, 6]);
+        assert_eq!(build.param_slot_index("g2:fsim[0,2].phi"), Some(2));
+        assert_eq!(build.param_slot_index("g0:h[0].theta"), None);
+    }
+
+    #[test]
+    fn rebind_parameters_matches_a_fresh_build_bit_for_bit() {
+        let mut c = Circuit::new(2);
+        c.push1(Gate::Rx(0.3), 0)
+            .push2(Gate::FSim { theta: 0.9, phi: 0.2 }, 0, 1)
+            .push1(Gate::Rz(-1.1), 1);
+        let mut build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![1, 0]));
+        // Rebind Rx.theta (slot 0) and FSim.phi (slot 2).
+        let touched = build.rebind_parameters(&[(0, 2.2), (2, 0.8)]).unwrap();
+        assert_eq!(touched, [0, 1], "cone covers exactly the two touched leaves");
+        let mut fresh = Circuit::new(2);
+        fresh
+            .push1(Gate::Rx(2.2), 0)
+            .push2(Gate::FSim { theta: 0.9, phi: 0.8 }, 0, 1)
+            .push1(Gate::Rz(-1.1), 1);
+        let fresh = circuit_to_network(&fresh, &OutputSpec::Amplitude(vec![1, 0]));
+        for (a, b) in build.nodes.iter().zip(fresh.nodes.iter()) {
+            assert_eq!(a.data, b.data, "leaf {} must match the fresh build exactly", a.label);
+        }
+        assert_eq!(build.param_slots()[0].value(), 2.2);
+        assert_eq!(build.param_slots()[2].value(), 0.8);
+        // Duplicate slots: last value wins, leaf reported once.
+        let touched = build.rebind_parameters(&[(1, 0.1), (1, 0.9)]).unwrap();
+        assert_eq!(touched, [1]);
+        assert_eq!(build.param_slots()[1].value(), 0.9);
+    }
+
+    #[test]
+    fn rebind_parameters_rejects_bad_updates_atomically() {
+        let mut c = Circuit::new(1);
+        c.push1(Gate::Rz(0.5), 0);
+        let mut build = circuit_to_network(&c, &OutputSpec::Amplitude(vec![0]));
+        let snapshot: Vec<_> = build.nodes.iter().map(|n| n.data.clone()).collect();
+        // A valid update listed before the invalid one must not be applied.
+        assert_eq!(
+            build.rebind_parameters(&[(0, 1.0), (7, 2.0)]),
+            Err(RebindError::UnknownParamSlot { slot: 7, slots: 1 })
+        );
+        assert_eq!(
+            build.rebind_parameters(&[(0, 1.0), (0, f64::NAN)]),
+            Err(RebindError::NonFiniteParam { slot: 0 })
+        );
+        let unchanged: Vec<_> = build.nodes.iter().map(|n| n.data.clone()).collect();
+        assert_eq!(snapshot, unchanged);
+        assert_eq!(build.param_slots()[0].value(), 0.5);
+        // The empty update set is a no-op, not an error.
+        assert_eq!(build.rebind_parameters(&[]), Ok(Vec::new()));
     }
 }

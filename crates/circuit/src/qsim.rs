@@ -140,6 +140,45 @@ pub fn parse_qsim(text: &str) -> Result<Circuit, QsimParseError> {
     Ok(circuit)
 }
 
+/// A named rebindable parameter surfaced from a parsed qsim circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsimParam {
+    /// Canonical slot name — identical to the [`crate::network::ParamSlot`]
+    /// name a [`crate::network::circuit_to_network`] build of this circuit
+    /// produces, e.g. `g3:rz[1].theta`.
+    pub name: String,
+    /// Gate index in `Circuit::ops()` order.
+    pub op_index: usize,
+    /// Which of the gate's parameters this is (see `Gate::param_names`).
+    pub param_index: usize,
+    /// The parsed value.
+    pub value: f64,
+}
+
+/// Parse a circuit from qsim text and surface its rotation-gate parameters
+/// (`rz`/`rx`/`ry` angles, `fs`/`fsim` theta and phi) as named slots.
+///
+/// The `k`-th returned parameter corresponds to slot index `k` of
+/// `circuit_to_network(&circuit, ..).param_slots()` for any output spec
+/// (both walk the gates in program order and use the same canonical names),
+/// so text-format circuits are sweepable without reconstruction: parse once,
+/// compile once, then drive `rebind_parameters` by slot index or name.
+pub fn parse_qsim_with_slots(text: &str) -> Result<(Circuit, Vec<QsimParam>), QsimParseError> {
+    let circuit = parse_qsim(text)?;
+    let mut params = Vec::new();
+    for (op_index, op) in circuit.ops().iter().enumerate() {
+        for (param_index, value) in op.gate.params().into_iter().enumerate() {
+            params.push(QsimParam {
+                name: crate::network::param_slot_name(op_index, &op.gate, &op.qubits, param_index),
+                op_index,
+                param_index,
+                value,
+            });
+        }
+    }
+    Ok((circuit, params))
+}
+
 /// Serialise a circuit to qsim text. Gates are written one per line with a
 /// monotonically increasing cycle derived from the circuit's wire levelling
 /// (the same definition `Circuit::depth` uses).
@@ -225,6 +264,42 @@ mod tests {
         let parsed = parse_qsim(&text).unwrap();
         assert_eq!(parsed.num_qubits(), 53);
         assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parsed_slots_align_with_the_network_build() {
+        let text = "\
+3
+0 h 0
+0 rz 1 0.25
+1 fs 0 2 0.5 -0.75
+2 ry 1 1.5
+";
+        let (c, params) = parse_qsim_with_slots(text).unwrap();
+        let names: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["g1:rz[1].theta", "g2:fsim[0,2].theta", "g2:fsim[0,2].phi", "g3:ry[1].theta"]
+        );
+        let values: Vec<f64> = params.iter().map(|p| p.value).collect();
+        assert_eq!(values, [0.25, 0.5, -0.75, 1.5]);
+        // Slot index k of the network build is parameter k here, by name
+        // and by value — the property that makes text circuits sweepable.
+        let build = crate::network::circuit_to_network(
+            &c,
+            &crate::network::OutputSpec::Amplitude(vec![0; 3]),
+        );
+        assert_eq!(build.param_slots().len(), params.len());
+        for (k, (slot, param)) in build.param_slots().iter().zip(&params).enumerate() {
+            assert_eq!(slot.name(), param.name);
+            assert_eq!(slot.op_index(), param.op_index);
+            assert_eq!(slot.param_index(), param.param_index);
+            assert_eq!(slot.value(), param.value);
+            assert_eq!(build.param_slot_index(&param.name), Some(k));
+        }
+        // A parameter-free circuit surfaces no slots.
+        let (_, none) = parse_qsim_with_slots("2\n0 h 0\n1 cz 0 1\n").unwrap();
+        assert!(none.is_empty());
     }
 
     #[test]

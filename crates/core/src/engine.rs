@@ -45,13 +45,16 @@
 //! ```
 
 use crate::error::Error;
-use crate::executor::{execute_on_pool, ExecutionStats, ExecutorConfig, LeafOverrides, WorkerPool};
+use crate::executor::{
+    execute_on_pool, BranchSeed, ExecutionStats, ExecutorConfig, LeafOverrides, WorkerPool,
+};
 use crate::planner::{plan_simulation, PlannerConfig, SimulationPlan};
 use crate::sampling::sample_bitstrings;
-use qtn_circuit::{Circuit, OutputSpec};
+use qtn_circuit::{Circuit, OutputSpec, ParamSlot};
 use qtn_tensor::{Complex64, DenseTensor, IndexSet};
+use qtn_tensornet::ordinal_words;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// What one execution did, returned alongside every result. Replaces the old
 /// `last_stats` mutable side-channel, so executes take `&self` and can run
@@ -600,6 +603,113 @@ impl CompiledCircuit {
         self.plan_cache_hit
     }
 
+    /// The rebindable parameter slots of the compiled circuit — one per
+    /// rotation-gate angle, in circuit order, with canonical names like
+    /// `g3:rz[1].theta` (see [`qtn_circuit::NetworkBuild::param_slots`]).
+    /// Slot *indices* are what [`rebind_parameters`](Self::rebind_parameters)
+    /// takes.
+    pub fn param_slots(&self) -> &[ParamSlot] {
+        self.plan.build.param_slots()
+    }
+
+    /// Rebind gate parameters **without replanning** — the third
+    /// compile-once axis, next to output bits and slices: a parameter sweep
+    /// compiles the circuit once and calls this between executions, instead
+    /// of paying the full planning pipeline per angle.
+    ///
+    /// Each `(slot, value)` update regenerates the slot's gate-leaf tensor
+    /// in place (shape-preserving, so the memoized stem compile and the
+    /// buffer pools survive untouched) and the plan-lifetime branch cache
+    /// is invalidated **cone-scoped**: only the cached entries whose
+    /// subtree contains a rebound leaf are dropped and rebuilt by the next
+    /// execution; every entry outside the cone is carried over verbatim.
+    /// Results are bit-identical to compiling fresh at the new angles, and
+    /// [`ExecutionStats::params_rebound`],
+    /// [`ExecutionStats::branch_entries_invalidated`] and
+    /// [`ExecutionStats::branch_flops_survived_rebind`] on the next execute
+    /// quantify the cone.
+    ///
+    /// The call is atomic: on any error (unknown slot, non-finite angle)
+    /// the compiled circuit — leaf tensors and caches alike — is left
+    /// exactly as it was. An empty update set is a no-op that keeps every
+    /// cache. [`fingerprint`](Self::fingerprint) keeps reporting the
+    /// compile-time circuit's fingerprint; a rebound circuit is a private
+    /// descendant of that plan, not a plan-cache citizen.
+    ///
+    /// ```
+    /// use qtnsim_core::Engine;
+    /// use qtn_circuit::{Circuit, Gate, OutputSpec};
+    ///
+    /// let mut circuit = Circuit::new(2);
+    /// circuit.push1(Gate::H, 0).push1(Gate::Rz(0.3), 1).push2(Gate::Cnot, 0, 1);
+    /// let engine = Engine::new();
+    /// let mut compiled = engine.compile(&circuit, &OutputSpec::Amplitude(vec![0, 0]))?;
+    /// assert_eq!(compiled.param_slots().len(), 1); // the Rz angle
+    /// compiled.rebind_parameters(&[(0, 1.2)])?;
+    /// let (amp, _) = compiled.execute_amplitude(&[0, 0])?;
+    /// assert_eq!(engine.plans_built(), 1); // swept, never replanned
+    /// # let mut fresh = Circuit::new(2);
+    /// # fresh.push1(Gate::H, 0).push1(Gate::Rz(1.2), 1).push2(Gate::Cnot, 0, 1);
+    /// # let direct = Engine::new().compile(&fresh, &OutputSpec::Amplitude(vec![0, 0]))?;
+    /// # assert_eq!(amp, direct.execute_amplitude(&[0, 0])?.0);
+    /// # Ok::<(), qtnsim_core::Error>(())
+    /// ```
+    pub fn rebind_parameters(&mut self, updates: &[(usize, f64)]) -> Result<(), Error> {
+        if updates.is_empty() {
+            return Ok(());
+        }
+        // Work on a private clone: the engine's plan cache (and every other
+        // CompiledCircuit) keeps the original plan with the original
+        // angles, and an error below discards the clone untouched.
+        let mut plan = (*self.plan).clone();
+        let touched = plan.build.rebind_parameters(updates)?;
+
+        // The invalidation cone: a kept branch entry dies exactly when its
+        // parameter dependency mask intersects the rebound leaf set.
+        let masks = plan.classification.param_masks();
+        let words = ordinal_words(masks.num_leaves(), &touched);
+        let in_cone = |root: usize| masks.intersects(root, &words);
+
+        // Stage the survivors on the clone: from the built cache when one
+        // exists, else from the seed an earlier (not yet executed) rebind
+        // staged — stacked rebinds accumulate their accounting.
+        let mut seed = BranchSeed::default();
+        match self.plan.branch_cache.get() {
+            Some(Ok(cache)) => {
+                for &root in plan.classification.branch_keep() {
+                    if in_cone(root) {
+                        seed.entries_invalidated += 1;
+                        continue;
+                    }
+                    let tensor = cache.tensor(root).ok_or_else(|| {
+                        Error::Internal(format!("branch root {root} missing from cache"))
+                    })?;
+                    let (flops, contractions) = cache.entry_cost(root).unwrap_or((0, 0));
+                    seed.surviving.insert(root, (tensor.clone(), flops, contractions));
+                }
+                seed.params_rebound = updates.len() as u64;
+            }
+            _ => {
+                if let Some(prior) = &self.plan.branch_seed {
+                    seed.entries_invalidated = prior.entries_invalidated;
+                    seed.params_rebound = prior.params_rebound;
+                    for (&root, entry) in &prior.surviving {
+                        if in_cone(root) {
+                            seed.entries_invalidated += 1;
+                        } else {
+                            seed.surviving.insert(root, entry.clone());
+                        }
+                    }
+                }
+                seed.params_rebound += updates.len() as u64;
+            }
+        }
+        plan.branch_cache = Arc::new(OnceLock::new());
+        plan.branch_seed = Some(Arc::new(seed));
+        self.plan = Arc::new(plan);
+        Ok(())
+    }
+
     fn validate_bits(&self, bits: &[u8]) -> Result<(), Error> {
         if bits.len() != self.num_qubits {
             return Err(Error::BitstringLength { expected: self.num_qubits, got: bits.len() });
@@ -1125,6 +1235,242 @@ mod tests {
         assert_eq!(samples.len(), 2000);
         let ones = samples.iter().filter(|s| s[0] == 1).count();
         assert!(ones > 800 && ones < 1200, "biased sampling: {ones}/2000");
+    }
+
+    /// The same circuit with the k-th parameter slot set to `angles[k]` —
+    /// the "fresh compile at the new angles" baseline parameter rebinding
+    /// must match bit for bit.
+    fn circuit_with_angles(circuit: &Circuit, slots: &[ParamSlot], angles: &[f64]) -> Circuit {
+        let mut out = Circuit::new(circuit.num_qubits());
+        for (op_index, op) in circuit.ops().iter().enumerate() {
+            let mut gate = op.gate.clone();
+            for (slot, value) in slots.iter().zip(angles) {
+                if slot.op_index() == op_index {
+                    gate = gate.with_param(slot.param_index(), *value).expect("slot maps a param");
+                }
+            }
+            match op.qubits.as_slice() {
+                [q] => {
+                    out.push1(gate, *q);
+                }
+                [a, b] => {
+                    out.push2(gate, *a, *b);
+                }
+                _ => unreachable!("gates are 1- or 2-qubit"),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rebind_parameters_matches_a_fresh_compile_bit_for_bit() {
+        let circuit = RqcConfig::small(2, 3, 6, 5).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        let engine =
+            Engine::new().with_planner(PlannerConfig { target_rank: 8, ..Default::default() });
+        let mut compiled = engine.compile(&circuit, &spec).unwrap();
+        let slots: Vec<ParamSlot> = compiled.param_slots().to_vec();
+        assert!(!slots.is_empty(), "RQC circuits carry FSim parameter slots");
+
+        // Cold execution builds the branch cache; its branch bill is the
+        // shape-only cold baseline every rebind's flop identity refers to.
+        let bits = vec![0u8; n];
+        let (_, cold) = compiled.execute_amplitude(&bits).unwrap();
+        assert_eq!(cold.stats.params_rebound, 0);
+        assert_eq!(cold.stats.branch_entries_invalidated, 0);
+        assert_eq!(cold.stats.branch_flops_survived_rebind, 0);
+
+        // Sweep one mid-circuit angle plus the last slot.
+        let mut angles: Vec<f64> = slots.iter().map(ParamSlot::value).collect();
+        let updates = vec![(slots.len() / 2, 1.25), (slots.len() - 1, -0.75)];
+        for &(slot, value) in &updates {
+            angles[slot] = value;
+        }
+        compiled.rebind_parameters(&updates).unwrap();
+        let (amp, report) = compiled.execute_amplitude(&bits).unwrap();
+        assert_eq!(engine.plans_built(), 1, "rebinding must never replan");
+
+        // Counters: the rebind is visible exactly once, on the execution
+        // that rebuilt the cone, and the flop identity is exact.
+        assert_eq!(report.stats.params_rebound, updates.len() as u64);
+        assert!(report.stats.branch_entries_invalidated > 0, "updates must hit branch entries");
+        assert!(
+            report.stats.branch_flops_survived_rebind > 0,
+            "entries outside the cone must be carried over, not rebuilt"
+        );
+        assert_eq!(
+            report.stats.branch_flops + report.stats.branch_flops_survived_rebind,
+            cold.stats.branch_flops,
+            "survived + rebuilt must equal the cold bill exactly"
+        );
+        let (_, again) = compiled.execute_amplitude(&bits).unwrap();
+        assert_eq!(again.stats.params_rebound, 0, "counters report once, on the build");
+        assert_eq!(again.stats.branch_flops, 0);
+
+        // Bit-identical to a fresh compile at the new angles — pooled,
+        // unpooled, and through the batched path.
+        let fresh = circuit_with_angles(&circuit, &slots, &angles);
+        let direct = Engine::new()
+            .with_planner(PlannerConfig { target_rank: 8, ..Default::default() })
+            .compile(&fresh, &spec)
+            .unwrap();
+        let (expected, _) = direct.execute_amplitude(&bits).unwrap();
+        assert_eq!(amp, expected, "rebound amplitude must match a fresh compile bit for bit");
+
+        let patterns: Vec<Vec<u8>> =
+            (0..4usize).map(|k| (0..n).map(|q| ((k >> (q % 2)) & 1) as u8).collect()).collect();
+        let batch: Vec<&[u8]> = patterns.iter().map(Vec::as_slice).collect();
+        let (amps, _) = compiled.execute_amplitudes(&batch).unwrap();
+        let (amps_direct, _) = direct.execute_amplitudes(&batch).unwrap();
+        assert_eq!(amps, amps_direct, "batched execution must match after a rebind");
+
+        let unpooled = ExecutorConfig { pool: false, ..Default::default() };
+        let engine_np = Engine::new()
+            .with_planner(PlannerConfig { target_rank: 8, ..Default::default() })
+            .with_executor(unpooled.clone());
+        let mut compiled_np = engine_np.compile(&circuit, &spec).unwrap();
+        compiled_np.rebind_parameters(&updates).unwrap();
+        let (amp_np, _) = compiled_np.execute_amplitude(&bits).unwrap();
+        let direct_np = Engine::new()
+            .with_planner(PlannerConfig { target_rank: 8, ..Default::default() })
+            .with_executor(unpooled)
+            .compile(&fresh, &spec)
+            .unwrap();
+        assert_eq!(amp_np, direct_np.execute_amplitude(&bits).unwrap().0);
+    }
+
+    #[test]
+    fn failed_rebinds_leave_the_compiled_circuit_untouched() {
+        let circuit = RqcConfig::small(2, 3, 6, 5).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        let engine =
+            Engine::new().with_planner(PlannerConfig { target_rank: 8, ..Default::default() });
+        let mut compiled = engine.compile(&circuit, &spec).unwrap();
+        let slots = compiled.param_slots().len();
+        let bits = vec![0u8; n];
+        let (amp, _) = compiled.execute_amplitude(&bits).unwrap();
+
+        // A bad update anywhere rejects the whole set — even when valid
+        // updates precede it.
+        assert_eq!(
+            compiled.rebind_parameters(&[(0, 0.5), (slots, 1.0)]).unwrap_err(),
+            Error::UnknownParamSlot { slot: slots, slots }
+        );
+        assert_eq!(
+            compiled.rebind_parameters(&[(0, 0.5), (0, f64::NAN)]).unwrap_err(),
+            Error::NonFiniteParam { slot: 0 }
+        );
+        assert_eq!(
+            compiled.rebind_parameters(&[(0, f64::INFINITY)]).unwrap_err(),
+            Error::NonFiniteParam { slot: 0 }
+        );
+
+        // Build and caches are exactly as if the calls never happened: same
+        // amplitude, branch cache still warm, no rebind accounting.
+        let (again, report) = compiled.execute_amplitude(&bits).unwrap();
+        assert_eq!(again, amp, "a failed rebind must not perturb results");
+        assert!(report.branch_cache_hit, "a failed rebind must not drop the cache");
+        assert_eq!(report.stats.branch_flops, 0);
+        assert_eq!(report.stats.params_rebound, 0);
+        assert_eq!(report.stats.branch_entries_invalidated, 0);
+    }
+
+    #[test]
+    fn random_angle_subsets_rebind_with_minimal_cones() {
+        let circuit = RqcConfig::small(2, 3, 6, 9).build();
+        let n = circuit.num_qubits();
+        let spec = OutputSpec::Amplitude(vec![0; n]);
+        let planner = PlannerConfig { target_rank: 8, ..Default::default() };
+        let engine = Engine::new().with_planner(planner.clone());
+        let mut compiled = engine.compile(&circuit, &spec).unwrap();
+        let slots: Vec<ParamSlot> = compiled.param_slots().to_vec();
+        assert!(slots.len() >= 2, "need several slots to sweep subsets");
+        let bits = vec![0u8; n];
+        let (_, cold) = compiled.execute_amplitude(&bits).unwrap();
+        let cold_branch_flops = cold.stats.branch_flops;
+
+        // Deterministic LCG; the test sweeps the empty set, the full set
+        // and random subsets in between.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut angles: Vec<f64> = slots.iter().map(ParamSlot::value).collect();
+        for round in 0..6 {
+            let chosen: Vec<usize> = match round {
+                0 => Vec::new(),
+                1 => (0..slots.len()).collect(),
+                _ => (0..slots.len()).filter(|_| next() % 2 == 0).collect(),
+            };
+            let updates: Vec<(usize, f64)> = chosen
+                .iter()
+                .map(|&s| (s, (next() % 6283) as f64 / 1000.0 - std::f64::consts::PI))
+                .collect();
+            for &(slot, value) in &updates {
+                angles[slot] = value;
+            }
+
+            // The minimal cone, computed independently from the masks: the
+            // kept roots whose subtree contains a rebound leaf.
+            let (expected_cone, sliced_subtasks) = {
+                let plan = compiled.plan();
+                let masks = plan.classification.param_masks();
+                let mut leaves: Vec<usize> = chosen.iter().map(|&s| slots[s].leaf()).collect();
+                leaves.sort_unstable();
+                leaves.dedup();
+                let words = ordinal_words(masks.num_leaves(), &leaves);
+                let cone = plan
+                    .classification
+                    .branch_keep()
+                    .iter()
+                    .filter(|&&root| masks.intersects(root, &words))
+                    .count() as u64;
+                (cone, !plan.slicing.sliced.is_empty())
+            };
+
+            compiled.rebind_parameters(&updates).unwrap();
+            let (amp, report) = compiled.execute_amplitude(&bits).unwrap();
+
+            // Cone minimality, flop identity, and the memory invariant. An
+            // empty update set is a no-op: the warm cache survives outright
+            // and no build (hence no rebind accounting) happens at all.
+            assert_eq!(report.stats.params_rebound, updates.len() as u64, "round {round}");
+            assert_eq!(
+                report.stats.branch_entries_invalidated, expected_cone,
+                "round {round}: exactly the mask-intersecting entries must drop"
+            );
+            if updates.is_empty() {
+                assert_eq!(report.stats.branch_flops, 0, "round {round}");
+                assert_eq!(report.stats.branch_flops_survived_rebind, 0, "round {round}");
+                assert!(report.branch_cache_hit, "round {round}: no-op must keep the cache");
+            } else {
+                assert_eq!(
+                    report.stats.branch_flops + report.stats.branch_flops_survived_rebind,
+                    cold_branch_flops,
+                    "round {round}: survived + rebuilt must equal the cold bill"
+                );
+            }
+            assert!(
+                report.stats.peak_bytes_in_flight <= report.stats.predicted_peak_bytes,
+                "round {round}"
+            );
+            if sliced_subtasks {
+                assert_eq!(
+                    report.stats.peak_bytes_in_flight, report.stats.predicted_peak_bytes,
+                    "round {round}: pooled peak must stay exactly at the prediction"
+                );
+            }
+
+            // Bit-identity against a fresh compile at the current angles.
+            let fresh = circuit_with_angles(&circuit, &slots, &angles);
+            let direct =
+                Engine::new().with_planner(planner.clone()).compile(&fresh, &spec).unwrap();
+            assert_eq!(amp, direct.execute_amplitude(&bits).unwrap().0, "round {round}");
+        }
+        assert_eq!(engine.plans_built(), 1, "six rebind rounds, zero replans");
     }
 
     #[test]

@@ -56,6 +56,19 @@ pub enum Error {
         /// The configured budget.
         budget_bytes: u64,
     },
+    /// A parameter rebind named a slot index the compiled circuit does not
+    /// have (see [`qtn_circuit::NetworkBuild::param_slots`]).
+    UnknownParamSlot {
+        /// The offending slot index.
+        slot: usize,
+        /// Parameter slots the circuit was built with.
+        slots: usize,
+    },
+    /// A parameter rebind supplied a NaN or infinite angle.
+    NonFiniteParam {
+        /// The slot the non-finite value targeted.
+        slot: usize,
+    },
     /// Sampling was requested from an amplitude tensor whose total
     /// probability mass is zero (every amplitude is exactly 0).
     ZeroAmplitudeDistribution,
@@ -92,6 +105,12 @@ impl std::fmt::Display for Error {
                      {budget_bytes}-byte budget"
                 )
             }
+            Error::UnknownParamSlot { slot, slots } => {
+                write!(f, "parameter slot {slot} out of range for {slots} slots")
+            }
+            Error::NonFiniteParam { slot } => {
+                write!(f, "non-finite value for parameter slot {slot}")
+            }
             Error::ZeroAmplitudeDistribution => {
                 write!(f, "cannot sample from an all-zero amplitude tensor")
             }
@@ -109,6 +128,10 @@ impl From<RebindError> for Error {
                 Error::BitstringLength { expected, got }
             }
             RebindError::InvalidBit { qubit, value } => Error::InvalidBit { qubit, value },
+            RebindError::UnknownParamSlot { slot, slots } => {
+                Error::UnknownParamSlot { slot, slots }
+            }
+            RebindError::NonFiniteParam { slot } => Error::NonFiniteParam { slot },
         }
     }
 }
@@ -132,6 +155,8 @@ mod tests {
                 Error::MemoryBudgetExceeded { predicted_bytes: 4096, budget_bytes: 1024 },
                 "exceeds the 1024-byte budget",
             ),
+            (Error::UnknownParamSlot { slot: 6, slots: 3 }, "slot 6"),
+            (Error::NonFiniteParam { slot: 2 }, "non-finite"),
             (Error::ZeroAmplitudeDistribution, "all-zero"),
             (Error::Internal("oops".into()), "oops"),
         ];
@@ -147,5 +172,9 @@ mod tests {
         assert_eq!(e, Error::BitstringLength { expected: 2, got: 1 });
         let e: Error = RebindError::InvalidBit { qubit: 0, value: 3 }.into();
         assert_eq!(e, Error::InvalidBit { qubit: 0, value: 3 });
+        let e: Error = RebindError::UnknownParamSlot { slot: 4, slots: 1 }.into();
+        assert_eq!(e, Error::UnknownParamSlot { slot: 4, slots: 1 });
+        let e: Error = RebindError::NonFiniteParam { slot: 0 }.into();
+        assert_eq!(e, Error::NonFiniteParam { slot: 0 });
     }
 }

@@ -206,6 +206,21 @@ pub struct ExecutionStats {
     pub branch_contractions: u64,
     /// Frontier-class pairwise contractions executed by this call.
     pub frontier_contractions: u64,
+    /// Parameter-slot updates applied by
+    /// `CompiledCircuit::rebind_parameters` that this call's branch-cache
+    /// build absorbed. Reported (like [`branch_flops`](Self::branch_flops))
+    /// only by the execution that performs the post-rebind build; zero on a
+    /// cold compile and on every execution reusing an already-built cache.
+    pub params_rebound: u64,
+    /// Previously cached branch entries the rebinds' invalidation cones
+    /// dropped — exactly the kept roots whose parameter dependency mask
+    /// intersects a rebound slot; this call rebuilt only those.
+    pub branch_entries_invalidated: u64,
+    /// Floating point operations of the branch entries that *survived* the
+    /// rebinds and were carried over instead of re-executed. The flop
+    /// identity `branch_flops_survived_rebind + branch_flops ==` the cold
+    /// build's `branch_flops` holds exactly.
+    pub branch_flops_survived_rebind: u64,
     /// Contractions whose GEMM dispatched to a fully unrolled
     /// rank-specialized micro-kernel (m, n ∈ {1, 2, 4}, k ∈ {2, 4, 8} — the
     /// bond-dimension-2 hot shapes).
@@ -296,6 +311,9 @@ impl ExecutionStats {
         self.branch_flops_reused += other.branch_flops_reused;
         self.branch_contractions += other.branch_contractions;
         self.frontier_contractions += other.frontier_contractions;
+        self.params_rebound += other.params_rebound;
+        self.branch_entries_invalidated += other.branch_entries_invalidated;
+        self.branch_flops_survived_rebind += other.branch_flops_survived_rebind;
         self.gemm_micro += other.gemm_micro;
         self.gemm_gemv += other.gemm_gemv;
         self.gemm_narrow += other.gemm_narrow;
@@ -337,6 +355,9 @@ impl ExecutionStats {
             .field_u64("branch_flops_reused", self.branch_flops_reused)
             .field_u64("branch_contractions", self.branch_contractions)
             .field_u64("frontier_contractions", self.frontier_contractions)
+            .field_u64("params_rebound", self.params_rebound)
+            .field_u64("branch_entries_invalidated", self.branch_entries_invalidated)
+            .field_u64("branch_flops_survived_rebind", self.branch_flops_survived_rebind)
             .field_u64("gemm_micro", self.gemm_micro)
             .field_u64("gemm_gemv", self.gemm_gemv)
             .field_u64("gemm_narrow", self.gemm_narrow)
@@ -446,18 +467,44 @@ pub struct BranchCache {
     /// Kept tensors keyed by tree-node id (the classification's
     /// `branch_keep` set).
     tensors: HashMap<usize, DenseTensor<Complex64>>,
-    /// Real floating point operations spent building the cache.
+    /// Per kept root: the `(flops, contractions)` cost of producing its
+    /// subtree. Every branch-schedule step is owned by exactly one kept
+    /// root (each node feeds exactly one parent), so these partition the
+    /// cold bill — the attribution a parameter rebind uses to price the
+    /// entries it carries over versus the cone it drops.
+    entry_costs: HashMap<usize, (u64, u64)>,
+    /// Real floating point operations spent building the cache — only the
+    /// contractions *this* build executed, excluding carried-over entries.
     pub flops: u64,
-    /// Pairwise contractions performed building the cache.
+    /// Pairwise contractions performed by this build.
     pub contractions: u64,
-    /// Kernel-dispatch tally of the cache build.
+    /// Kernel-dispatch tally of the contractions this build executed.
     pub gemm: GemmTally,
+    /// The full cold bill: flops of every entry, whether executed by this
+    /// build or carried over from a pre-rebind cache. On a cold build this
+    /// equals [`flops`](Self::flops); after a partial (post-rebind) build,
+    /// `cold_flops == flops + survived_flops` exactly.
+    pub cold_flops: u64,
+    /// Flops of the entries that survived parameter rebinds and were
+    /// carried over instead of re-executed. Zero on cold builds.
+    pub survived_flops: u64,
+    /// Previously cached entries the rebinds invalidated (and this build
+    /// therefore re-executed). Zero on cold builds.
+    pub entries_invalidated: u64,
+    /// Parameter-slot updates absorbed by this build. Zero on cold builds.
+    pub params_rebound: u64,
 }
 
 impl BranchCache {
     /// The cached tensor of a tree node, if this node is a kept branch root.
     pub fn tensor(&self, node: usize) -> Option<&DenseTensor<Complex64>> {
         self.tensors.get(&node)
+    }
+
+    /// The `(flops, contractions)` attributed to producing a kept root's
+    /// subtree, if this node is a kept branch root.
+    pub fn entry_cost(&self, node: usize) -> Option<(u64, u64)> {
+        self.entry_costs.get(&node).copied()
     }
 
     /// Number of cached tensors.
@@ -469,6 +516,22 @@ impl BranchCache {
     pub fn is_empty(&self) -> bool {
         self.tensors.is_empty()
     }
+}
+
+/// Branch-cache entries surviving a parameter rebind, staged on the plan
+/// clone [`crate::CompiledCircuit::rebind_parameters`] produces and
+/// consumed by that plan's next branch-cache build: the build
+/// replays only the subtrees of the invalidated cone and installs the
+/// surviving tensors verbatim, with their original cost attribution.
+#[derive(Debug, Clone, Default)]
+pub struct BranchSeed {
+    /// Surviving kept entries: tree-node id → (tensor, flops, contractions).
+    pub(crate) surviving: HashMap<usize, (DenseTensor<Complex64>, u64, u64)>,
+    /// Previously cached entries the rebinds' cones dropped, accumulated
+    /// across rebinds stacked before the next execution.
+    pub(crate) entries_invalidated: u64,
+    /// Parameter-slot updates applied since the last cache build.
+    pub(crate) params_rebound: u64,
 }
 
 /// The per-execution frontier: Frontier-class tensors (override-dependent,
@@ -497,16 +560,51 @@ fn take_operand<'a>(
         .ok_or_else(|| Error::Internal(format!("operand {id} missing from slots and cache")))
 }
 
+/// Map every Branch-class node to the kept root whose subtree owns it.
+/// Each internal node feeds exactly one parent and the kept roots are the
+/// maximal branch subtrees, so the ownership is a partition: walking down
+/// from each kept root through the schedule's producer edges visits every
+/// branch node exactly once.
+fn branch_owners(cls: &qtn_tensornet::NodeClassification) -> HashMap<usize, usize> {
+    let produced: HashMap<usize, (usize, usize)> =
+        cls.branch_schedule().iter().map(|&(l, r, out)| (out, (l, r))).collect();
+    let mut owner = HashMap::new();
+    for &root in cls.branch_keep() {
+        let mut stack = vec![root];
+        while let Some(node) = stack.pop() {
+            owner.insert(node, root);
+            if let Some(&(l, r)) = produced.get(&node) {
+                stack.push(l);
+                stack.push(r);
+            }
+        }
+    }
+    owner
+}
+
 /// Contract every Branch-class node bottom-up and keep the branch roots.
 /// Runs once per plan; the tensors depend only on the circuit, so the same
 /// worker-order-independent pairwise contractions make the cache — and with
 /// it every later result — bit-identical to a full replay.
+///
+/// When the plan carries a [`BranchSeed`] (a parameter rebind staged
+/// surviving entries on it), only the subtrees of the invalidated cone are
+/// replayed: surviving kept tensors install verbatim, their leaves and
+/// contractions are skipped, and the cache's accounting splits the cold
+/// bill into executed and survived shares so the flop identity
+/// `survived + executed == cold` is exact.
 fn build_branch_cache(plan: &SimulationPlan) -> Result<BranchCache, Error> {
     let cls = &plan.classification;
+    let owner = branch_owners(cls);
+    let seed = plan.branch_seed.as_deref();
+    let survives = |root: usize| seed.is_some_and(|s| s.surviving.contains_key(&root));
+
     let mut slots: Vec<Option<DenseTensor<Complex64>>> = vec![None; plan.tree.nodes().len()];
     for (node_id, node) in plan.tree.nodes().iter().enumerate() {
         if let Some(vertex) = node.leaf_vertex {
-            if cls.class(node_id) == NodeClass::Branch {
+            if cls.class(node_id) == NodeClass::Branch
+                && owner.get(&node_id).is_some_and(|&root| !survives(root))
+            {
                 slots[node_id] = Some(plan.build.nodes[vertex].data.clone());
             }
         }
@@ -514,24 +612,54 @@ fn build_branch_cache(plan: &SimulationPlan) -> Result<BranchCache, Error> {
     let mut flops = 0u64;
     let mut contractions = 0u64;
     let mut gemm = GemmTally::default();
+    let mut step_costs: HashMap<usize, (u64, u64)> = HashMap::new();
     let empty = HashMap::new();
     for &(l, r, out) in cls.branch_schedule() {
+        let root = *owner
+            .get(&out)
+            .ok_or_else(|| Error::Internal(format!("branch step {out} has no kept root")))?;
+        if survives(root) {
+            continue;
+        }
         let a = take_operand(&mut slots, &empty, l)?;
         let b = take_operand(&mut slots, &empty, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());
         flops += spec.flops();
         contractions += 1;
+        let entry = step_costs.entry(root).or_insert((0, 0));
+        entry.0 += spec.flops();
+        entry.1 += 1;
         gemm.record_spec(&spec);
         slots[out] = Some(contract_pair(&a, &b));
     }
     let mut tensors = HashMap::with_capacity(cls.branch_keep().len());
+    let mut entry_costs = HashMap::with_capacity(cls.branch_keep().len());
+    let mut survived_flops = 0u64;
     for &id in cls.branch_keep() {
+        if let Some((t, entry_flops, entry_contractions)) = seed.and_then(|s| s.surviving.get(&id))
+        {
+            tensors.insert(id, t.clone());
+            entry_costs.insert(id, (*entry_flops, *entry_contractions));
+            survived_flops += entry_flops;
+            continue;
+        }
         let t = slots[id]
             .take()
             .ok_or_else(|| Error::Internal(format!("branch root {id} was not produced")))?;
         tensors.insert(id, t);
+        entry_costs.insert(id, step_costs.get(&id).copied().unwrap_or((0, 0)));
     }
-    Ok(BranchCache { tensors, flops, contractions, gemm })
+    Ok(BranchCache {
+        tensors,
+        entry_costs,
+        flops,
+        contractions,
+        gemm,
+        cold_flops: flops + survived_flops,
+        survived_flops,
+        entries_invalidated: seed.map_or(0, |s| s.entries_invalidated),
+        params_rebound: seed.map_or(0, |s| s.params_rebound),
+    })
 }
 
 /// Contract every Frontier-class node bottom-up, substituting the execution's
@@ -978,7 +1106,9 @@ struct ReuseState {
     /// Compiled stem replay (slicing recipes + contraction kernels), built
     /// only when pooled execution is on.
     stem_exec: Option<Arc<StemExec>>,
-    /// Full branch-cache build cost (paid once in the plan's lifetime).
+    /// Full branch-cache build cost (paid once in the plan's lifetime;
+    /// after a parameter rebind this is still the *cold* bill — executed
+    /// plus survived — so reuse accounting prices replays consistently).
     branch_flops_total: u64,
     /// Branch flops/contractions actually executed by *this* call.
     branch_flops: u64,
@@ -986,6 +1116,11 @@ struct ReuseState {
     /// Frontier flops/contractions executed by this call.
     frontier_flops: u64,
     frontier_contractions: u64,
+    /// Rebind accounting of the branch-cache build, reported (like
+    /// `branch_flops`) only by the call that ran the build.
+    params_rebound: u64,
+    entries_invalidated: u64,
+    survived_flops: u64,
     /// Kernel-dispatch tally of the branch build executed by *this* call
     /// (zero unless this execution built the cache).
     branch_gemm: GemmTally,
@@ -1051,11 +1186,14 @@ fn prepare_reuse(
     Ok(ReuseState {
         seeds: Arc::new(seeds),
         stem_exec,
-        branch_flops_total: cache.flops,
+        branch_flops_total: cache.cold_flops,
         branch_flops: if built_here { cache.flops } else { 0 },
         branch_contractions: if built_here { cache.contractions } else { 0 },
         frontier_flops: frontier.flops,
         frontier_contractions: frontier.contractions,
+        params_rebound: if built_here { cache.params_rebound } else { 0 },
+        entries_invalidated: if built_here { cache.entries_invalidated } else { 0 },
+        survived_flops: if built_here { cache.survived_flops } else { 0 },
         branch_gemm: if built_here { cache.gemm } else { GemmTally::default() },
         frontier_gemm: frontier.gemm,
     })
@@ -1264,6 +1402,9 @@ pub fn execute_on_pool(
         stats.branch_flops = state.branch_flops;
         stats.branch_contractions = state.branch_contractions;
         stats.frontier_contractions = state.frontier_contractions;
+        stats.params_rebound = state.params_rebound;
+        stats.branch_entries_invalidated = state.entries_invalidated;
+        stats.branch_flops_survived_rebind = state.survived_flops;
         stats.stem_pure_contractions =
             plan.classification.stem_pure_schedule().len() as u64 * run_subtasks as u64;
         stats.stem_mixed_flops = stem_flops - stem_pure_flops;
@@ -1306,6 +1447,10 @@ struct BatchReuseState {
     /// projectors once).
     frontier_flops: u64,
     frontier_contractions: u64,
+    /// Rebind accounting of the branch-cache build (see [`ReuseState`]).
+    params_rebound: u64,
+    entries_invalidated: u64,
+    survived_flops: u64,
     /// Kernel-dispatch tallies executed by this call (branch zero unless
     /// this call built the cache; frontier summed over the deduped batch).
     branch_gemm: GemmTally,
@@ -1329,7 +1474,7 @@ enum DepKey {
 
 /// Pack one bitstring's dependent bits for a node. `ordinals` lists the
 /// node's dependency-mask ordinals ascending (see
-/// [`qtn_tensornet::ProjectorMasks`]); `ordinal_bits[i]` is the
+/// [`qtn_tensornet::DependencyMasks`]); `ordinal_bits[i]` is the
 /// bitstring's value at projector ordinal `i`.
 fn pack_dep_key(ordinals: &[usize], ordinal_bits: &[u8]) -> DepKey {
     if ordinals.len() <= 128 {
@@ -1692,11 +1837,14 @@ fn prepare_reuse_batch(
     Ok(BatchReuseState {
         seeds,
         stem_exec,
-        branch_flops_total: cache.flops,
+        branch_flops_total: cache.cold_flops,
         branch_flops: if built_here { cache.flops } else { 0 },
         branch_contractions: if built_here { cache.contractions } else { 0 },
         frontier_flops,
         frontier_contractions,
+        params_rebound: if built_here { cache.params_rebound } else { 0 },
+        entries_invalidated: if built_here { cache.entries_invalidated } else { 0 },
+        survived_flops: if built_here { cache.survived_flops } else { 0 },
         branch_gemm: if built_here { cache.gemm } else { GemmTally::default() },
         frontier_gemm,
     })
@@ -2431,6 +2579,9 @@ pub fn execute_amplitudes_on_pool(
         branch_flops_reused,
         branch_contractions: state.branch_contractions,
         frontier_contractions: state.frontier_contractions,
+        params_rebound: state.params_rebound,
+        branch_entries_invalidated: state.entries_invalidated,
+        branch_flops_survived_rebind: state.survived_flops,
         buffers_allocated: pool_counters.allocated,
         buffers_reused: pool_counters.reused,
         peak_bytes_in_flight: pool_counters.peak_in_flight_bytes,
@@ -2481,6 +2632,9 @@ fn execute_amplitudes_sequentially(
         stats.branch_flops_reused += s.branch_flops_reused;
         stats.branch_contractions += s.branch_contractions;
         stats.frontier_contractions += s.frontier_contractions;
+        stats.params_rebound += s.params_rebound;
+        stats.branch_entries_invalidated += s.branch_entries_invalidated;
+        stats.branch_flops_survived_rebind += s.branch_flops_survived_rebind;
         stats.gemm_micro += s.gemm_micro;
         stats.gemm_gemv += s.gemm_gemv;
         stats.gemm_narrow += s.gemm_narrow;

@@ -7,7 +7,7 @@
 //! executor needs to run the sliced contraction, and everything the
 //! benchmark harness needs to report complexities and overheads.
 
-use crate::executor::{BranchCache, StemExec};
+use crate::executor::{BranchCache, BranchSeed, StemExec};
 use crate::pool::SharedWorkerPools;
 use qtn_circuit::{circuit_to_network, Circuit, NetworkBuild, OutputSpec};
 use qtn_slicing::overhead::{sliced_max_rank, slicing_overhead};
@@ -111,6 +111,12 @@ pub struct SimulationPlan {
     /// shape-preserving output rebinding and, like the branch cache, built
     /// once and shared by every execution and clone of the plan.
     pub(crate) stem_exec: Arc<OnceLock<Result<Arc<StemExec>, crate::error::Error>>>,
+    /// Branch-cache entries surviving a parameter rebind, plus the rebind's
+    /// accounting. `None` on freshly planned circuits; set (with a fresh,
+    /// empty `branch_cache` cell) by `CompiledCircuit::rebind_parameters`,
+    /// and consumed by the next branch-cache build, which then replays only
+    /// the invalidated cone on top of the surviving entries.
+    pub(crate) branch_seed: Option<Arc<BranchSeed>>,
 }
 
 impl SimulationPlan {
@@ -270,7 +276,8 @@ pub fn plan_simulation(
     // edges (replayed per subtask), the rebindable output projectors
     // (contracted once per execution or per bitstring) or neither
     // (contracted once per plan). Structure-only, like the rest of planning.
-    let classification = classify_nodes(&tree, &slicing.sliced, &overridable);
+    let classification =
+        classify_nodes(&tree, &slicing.sliced, &overridable, &build.param_leaf_vertices());
 
     // Lifetime analysis: first/last use of every intermediate, slot
     // assignment and predicted peak bytes per reuse phase. Structure-only,
@@ -292,6 +299,7 @@ pub fn plan_simulation(
         branch_cache: Arc::new(OnceLock::new()),
         stem_exec: Arc::new(OnceLock::new()),
         stem_pools: Arc::new(SharedWorkerPools::default()),
+        branch_seed: None,
     }
 }
 

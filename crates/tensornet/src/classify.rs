@@ -104,29 +104,32 @@ impl NodeClass {
     }
 }
 
-/// Per-node projector-dependency masks: which overridable leaves each
-/// node's subtree contains, as a bitset over the *ordinals* of the
-/// `overridable_leaves` slice handed to [`classify_nodes`] (bit `i` set ⇔
-/// the subtree contains the leaf at `overridable_leaves[i]`).
+/// Per-node leaf-dependency masks: which leaves of a designated set each
+/// node's subtree contains, as a bitset over the *ordinals* of the leaf
+/// slice handed to [`classify_nodes`] (bit `i` set ⇔ the subtree contains
+/// the leaf at ordinal `i`).
 ///
-/// A projector-dependent node's tensor is a function of exactly the output
-/// bits its mask names — two bitstrings that agree on those bits produce
-/// the same tensor at that node. This is what lets a batched execution
-/// dedup Frontier and StemMixed intermediates per distinct masked-bit key
-/// instead of per bitstring. Masks propagate by union up the tree
-/// (`mask(out) = mask(l) | mask(r)`), so they form a laminar family:
-/// along any root-ward path masks only grow.
+/// Two instances are computed per classification, one per rebindable axis:
+/// the *projector* masks (over `overridable_leaves` — which output bits a
+/// node's tensor depends on, used by batched execution to dedup Frontier
+/// and StemMixed intermediates per distinct masked-bit key) and the
+/// *parameter* masks (over `param_leaves` — which rebindable gate tensors a
+/// node's subtree contains, used to compute the minimal cache-invalidation
+/// cone of a parameter rebind: a cached entry whose mask misses every
+/// rebound leaf is still valid). Masks propagate by union up the tree
+/// (`mask(out) = mask(l) | mask(r)`), so they form a laminar family: along
+/// any root-ward path masks only grow.
 #[derive(Debug, Clone, Default)]
-pub struct ProjectorMasks {
+pub struct DependencyMasks {
     words_per_node: usize,
-    num_projectors: usize,
+    num_leaves: usize,
     bits: Vec<u64>,
 }
 
-impl ProjectorMasks {
-    /// Number of overridable leaves the masks range over (the bit width).
-    pub fn num_projectors(&self) -> usize {
-        self.num_projectors
+impl DependencyMasks {
+    /// Number of designated leaves the masks range over (the bit width).
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
     }
 
     /// `u64` words per node mask.
@@ -135,24 +138,43 @@ impl ProjectorMasks {
     }
 
     /// The mask of one node, as little-endian `u64` words (bit `i` of the
-    /// flattened words is projector ordinal `i`). Empty when no leaves are
-    /// overridable.
+    /// flattened words is leaf ordinal `i`). Empty when the designated leaf
+    /// set is empty.
     pub fn mask(&self, node: usize) -> &[u64] {
         let start = node * self.words_per_node;
         &self.bits[start..start + self.words_per_node]
     }
 
-    /// How many projector ordinals the node's subtree depends on.
+    /// How many designated-leaf ordinals the node's subtree depends on.
     pub fn popcount(&self, node: usize) -> usize {
         self.mask(node).iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// The projector ordinals set in a node's mask, ascending.
+    /// The leaf ordinals set in a node's mask, ascending.
     pub fn ordinals(&self, node: usize) -> impl Iterator<Item = usize> + '_ {
         self.mask(node).iter().enumerate().flat_map(|(w, &word)| {
             (0..64).filter(move |b| word >> b & 1 == 1).map(move |b| w * 64 + b)
         })
     }
+
+    /// Whether the node's mask shares any set bit with `words`, a bitset
+    /// over the same leaf ordinals (shorter is fine — missing words read as
+    /// zero). This is the cone test: with `words` naming the rebound
+    /// leaves, a node intersecting them is inside the invalidation cone.
+    pub fn intersects(&self, node: usize, words: &[u64]) -> bool {
+        self.mask(node).iter().zip(words).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// Build the ordinal bitset over `masks.num_leaves()` leaves that names the
+/// given ordinals — the `words` operand of [`DependencyMasks::intersects`].
+pub fn ordinal_words(num_leaves: usize, ordinals: &[usize]) -> Vec<u64> {
+    let mut words = vec![0u64; num_leaves.div_ceil(64)];
+    for &ordinal in ordinals {
+        assert!(ordinal < num_leaves, "leaf ordinal {ordinal} out of range ({num_leaves} leaves)");
+        words[ordinal / 64] |= 1u64 << (ordinal % 64);
+    }
+    words
 }
 
 /// The classification of every node of a contraction tree, with the derived
@@ -170,7 +192,8 @@ pub struct NodeClassification {
     frontier_keep: Vec<usize>,
     stem_pure_keep: Vec<usize>,
     stem_seeds: Vec<usize>,
-    projector_masks: ProjectorMasks,
+    projector_masks: DependencyMasks,
+    param_masks: DependencyMasks,
 }
 
 impl NodeClassification {
@@ -258,11 +281,19 @@ impl NodeClassification {
     }
 
     /// Per-node projector-dependency masks over overridable-leaf ordinals
-    /// (see [`ProjectorMasks`]). The mask of a Branch or StemPure node is
+    /// (see [`DependencyMasks`]). The mask of a Branch or StemPure node is
     /// empty; a Frontier or StemMixed node's mask names exactly the output
     /// bits its tensor depends on.
-    pub fn projector_masks(&self) -> &ProjectorMasks {
+    pub fn projector_masks(&self) -> &DependencyMasks {
         &self.projector_masks
+    }
+
+    /// Per-node parameter-dependency masks over rebindable-gate-leaf
+    /// ordinals (see [`DependencyMasks`]). A node whose mask misses every
+    /// leaf of a rebind set is outside the rebind's invalidation cone: any
+    /// cached tensor at that node stays valid across the rebind.
+    pub fn param_masks(&self) -> &DependencyMasks {
+        &self.param_masks
     }
 
     /// Number of internal (contraction) nodes of each class, as
@@ -277,18 +308,46 @@ impl NodeClassification {
     }
 }
 
-/// Classify every node of `tree` against a slicing set and a set of
-/// overridable leaves.
+/// Per-node dependency masks over the ordinals of `leaves` (network vertex
+/// ids): a designated leaf seeds its own ordinal bit, internal nodes union
+/// their children in a child-before-parent pass over the tree schedule.
+pub fn dependency_masks(tree: &ContractionTree, leaves: &[usize]) -> DependencyMasks {
+    let nodes = tree.nodes();
+    let words_per_node = leaves.len().div_ceil(64);
+    let mut bits = vec![0u64; nodes.len() * words_per_node];
+    for (ordinal, vertex) in leaves.iter().enumerate() {
+        for (id, node) in nodes.iter().enumerate() {
+            if node.leaf_vertex == Some(*vertex) {
+                bits[id * words_per_node + ordinal / 64] |= 1u64 << (ordinal % 64);
+            }
+        }
+    }
+    for &(l, r, out) in &tree.schedule() {
+        for w in 0..words_per_node {
+            bits[out * words_per_node + w] =
+                bits[l * words_per_node + w] | bits[r * words_per_node + w];
+        }
+    }
+    DependencyMasks { words_per_node, num_leaves: leaves.len(), bits }
+}
+
+/// Classify every node of `tree` against a slicing set, a set of
+/// overridable leaves and a set of rebindable parameter leaves.
 ///
 /// `sliced` lists the sliced edge indices; `overridable_leaves` lists the
 /// *network vertex ids* of leaves whose data an execution may replace (the
-/// output projectors under rebinding). A leaf's class is determined by the
-/// two dependency booleans directly (carries a sliced edge / is
-/// overridable); internal nodes take the lattice join of their children.
+/// output projectors under rebinding); `param_leaves` lists the vertex ids
+/// of gate tensors that parameter rebinds regenerate (they only feed the
+/// [`NodeClassification::param_masks`] used for cache invalidation — a
+/// parameter leaf's *class* is unaffected, since rebinds happen between
+/// executions, not within one). A leaf's class is determined by the two
+/// dependency booleans directly (carries a sliced edge / is overridable);
+/// internal nodes take the lattice join of their children.
 pub fn classify_nodes(
     tree: &ContractionTree,
     sliced: &[IndexId],
     overridable_leaves: &[usize],
+    param_leaves: &[usize],
 ) -> NodeClassification {
     let nodes = tree.nodes();
     let mut classes = vec![NodeClass::Branch; nodes.len()];
@@ -307,28 +366,14 @@ pub fn classify_nodes(
         }
     }
 
-    // Projector-dependency masks over overridable-leaf ordinals: a leaf
-    // seeds its own ordinal bit, internal nodes union their children in the
-    // same child-before-parent pass that propagates the class join.
-    let words_per_node = overridable_leaves.len().div_ceil(64);
-    let mut mask_bits = vec![0u64; nodes.len() * words_per_node];
-    for (ordinal, vertex) in overridable_leaves.iter().enumerate() {
-        for (id, node) in nodes.iter().enumerate() {
-            if node.leaf_vertex == Some(*vertex) {
-                mask_bits[id * words_per_node + ordinal / 64] |= 1u64 << (ordinal % 64);
-            }
-        }
-    }
+    let projector_masks = dependency_masks(tree, overridable_leaves);
+    let param_masks = dependency_masks(tree, param_leaves);
 
     // Internal nodes in execution order (children precede parents), so a
     // single pass propagates the lattice join upward.
     let schedule = tree.schedule();
     for &(l, r, out) in &schedule {
         classes[out] = classes[l].join(classes[r]);
-        for w in 0..words_per_node {
-            mask_bits[out * words_per_node + w] =
-                mask_bits[l * words_per_node + w] | mask_bits[r * words_per_node + w];
-        }
     }
 
     let mut branch_schedule = Vec::new();
@@ -403,11 +448,8 @@ pub fn classify_nodes(
         frontier_keep,
         stem_pure_keep,
         stem_seeds,
-        projector_masks: ProjectorMasks {
-            words_per_node,
-            num_projectors: overridable_leaves.len(),
-            bits: mask_bits,
-        },
+        projector_masks,
+        param_masks,
     }
 }
 
@@ -456,7 +498,7 @@ mod tests {
     #[test]
     fn no_slicing_no_overrides_is_all_branch() {
         let (_, tree) = chain4_tree();
-        let c = classify_nodes(&tree, &[], &[]);
+        let c = classify_nodes(&tree, &[], &[], &[]);
         assert!(c.classes().iter().all(|&k| k == NodeClass::Branch));
         assert_eq!(c.contraction_counts(), (3, 0, 0, 0));
         assert_eq!(c.stem_schedule().len(), 0);
@@ -471,7 +513,7 @@ mod tests {
         // Slice edge 0: leaves 0 and 1 carry it, so nodes 0, 1 and every
         // ancestor (4, 5, 6) are StemPure (no projector anywhere); leaves 2
         // and 3 stay Branch.
-        let c = classify_nodes(&tree, &[0], &[]);
+        let c = classify_nodes(&tree, &[0], &[], &[]);
         assert_eq!(c.class(0), NodeClass::StemPure);
         assert_eq!(c.class(1), NodeClass::StemPure);
         assert_eq!(c.class(2), NodeClass::Branch);
@@ -490,7 +532,7 @@ mod tests {
     fn overridable_leaf_makes_a_frontier() {
         let (_, tree) = chain4_tree();
         // Leaf 3 (vertex 3) is an output projector; no slicing.
-        let c = classify_nodes(&tree, &[], &[3]);
+        let c = classify_nodes(&tree, &[], &[3], &[]);
         assert_eq!(c.class(3), NodeClass::Frontier);
         assert_eq!(c.class(0), NodeClass::Branch);
         // Only the final contraction (5+3 -> 6) consumes the projector.
@@ -506,7 +548,7 @@ mod tests {
     fn four_classes_coexist() {
         let (_, tree) = chain4_tree();
         // Slice edge 2 (leaves 2, 3), override leaf 0: leaf 1 is plain.
-        let c = classify_nodes(&tree, &[2], &[0]);
+        let c = classify_nodes(&tree, &[2], &[0], &[]);
         assert_eq!(c.class(0), NodeClass::Frontier);
         assert_eq!(c.class(1), NodeClass::Branch);
         assert_eq!(c.class(2), NodeClass::StemPure);
@@ -530,7 +572,7 @@ mod tests {
         let (_, tree) = chain4_tree();
         // Slice edge 0 (leaves 0, 1), override leaf 3: the spine is sliced
         // from the far end, the projector joins at the root.
-        let c = classify_nodes(&tree, &[0], &[3]);
+        let c = classify_nodes(&tree, &[0], &[3], &[]);
         assert_eq!(c.class(0), NodeClass::StemPure);
         assert_eq!(c.class(1), NodeClass::StemPure);
         assert_eq!(c.class(2), NodeClass::Branch);
@@ -552,7 +594,7 @@ mod tests {
     #[test]
     fn overridden_and_sliced_leaf_is_stem_mixed() {
         let (_, tree) = chain4_tree();
-        let c = classify_nodes(&tree, &[0], &[0]);
+        let c = classify_nodes(&tree, &[0], &[0], &[]);
         // Both dependencies: the leaf must be re-sliced per subtask *and*
         // re-read per bitstring (the replay applies the override before
         // slicing).
@@ -564,7 +606,7 @@ mod tests {
         let (_, tree) = chain4_tree();
         for (sliced, overridable) in [(vec![1], vec![3]), (vec![0], vec![0, 3]), (vec![2], vec![0])]
         {
-            let c = classify_nodes(&tree, &sliced, &overridable);
+            let c = classify_nodes(&tree, &sliced, &overridable, &[]);
             for (id, node) in tree.nodes().iter().enumerate() {
                 if let Some(p) = node.parent {
                     assert!(c.class(p) >= c.class(id), "class must not decrease toward the root");
@@ -578,9 +620,9 @@ mod tests {
     fn projector_masks_union_up_the_tree() {
         let (_, tree) = chain4_tree();
         // Override leaves 0 and 3 (ordinals 0 and 1), slice edge 1.
-        let c = classify_nodes(&tree, &[1], &[0, 3]);
+        let c = classify_nodes(&tree, &[1], &[0, 3], &[]);
         let m = c.projector_masks();
-        assert_eq!(m.num_projectors(), 2);
+        assert_eq!(m.num_leaves(), 2);
         assert_eq!(m.words_per_node(), 1);
         // Leaves seed their own ordinal; non-overridable leaves are empty.
         assert_eq!(m.mask(0), &[0b01]);
@@ -628,9 +670,9 @@ mod tests {
         }
         let tree = ContractionTree::from_pairs(&g, &pairs);
         let overridable: Vec<usize> = (0..n).collect();
-        let c = classify_nodes(&tree, &[], &overridable);
+        let c = classify_nodes(&tree, &[], &overridable, &[]);
         let m = c.projector_masks();
-        assert_eq!(m.num_projectors(), 70);
+        assert_eq!(m.num_leaves(), 70);
         assert_eq!(m.words_per_node(), 2);
         assert_eq!(m.mask(69), &[0, 1 << 5], "ordinal 69 lives in word 1 bit 5");
         let root = tree.root();
@@ -640,9 +682,43 @@ mod tests {
     }
 
     #[test]
+    fn param_masks_name_the_invalidation_cone() {
+        let (_, tree) = chain4_tree();
+        // Leaves 1 and 2 are rebindable gate tensors; leaf 3 is a projector.
+        let c = classify_nodes(&tree, &[], &[3], &[1, 2]);
+        let m = c.param_masks();
+        assert_eq!(m.num_leaves(), 2);
+        assert_eq!(m.mask(0), &[0]);
+        assert_eq!(m.mask(1), &[0b01]);
+        assert_eq!(m.mask(2), &[0b10]);
+        assert_eq!(m.mask(3), &[0]);
+        // Internals union their children: 4 = 0+1, 5 = 4+2, 6 = 5+3.
+        assert_eq!(m.mask(4), &[0b01]);
+        assert_eq!(m.mask(5), &[0b11]);
+        assert_eq!(m.mask(6), &[0b11]);
+        // Cone test: rebinding ordinal 0 (vertex 1) invalidates exactly the
+        // nodes whose subtree contains that leaf.
+        let words = ordinal_words(2, &[0]);
+        let cone: Vec<usize> = (0..7).filter(|&n| m.intersects(n, &words)).collect();
+        assert_eq!(cone, [1, 4, 5, 6]);
+        // Parameter leaves do not perturb classes: rebinds happen between
+        // executions, so a gate leaf stays Branch.
+        assert_eq!(c.class(1), NodeClass::Branch);
+        assert_eq!(c.class(2), NodeClass::Branch);
+        // The standalone builder produces the same masks.
+        let standalone = dependency_masks(&tree, &[1, 2]);
+        for n in 0..7 {
+            assert_eq!(standalone.mask(n), m.mask(n));
+        }
+        // The empty rebind set has an empty cone.
+        let none = ordinal_words(2, &[]);
+        assert!((0..7).all(|n| !m.intersects(n, &none)));
+    }
+
+    #[test]
     fn schedules_partition_the_tree_schedule() {
         let (_, tree) = chain4_tree();
-        let c = classify_nodes(&tree, &[1], &[0, 3]);
+        let c = classify_nodes(&tree, &[1], &[0, 3], &[]);
         let total = c.branch_schedule().len()
             + c.frontier_schedule().len()
             + c.stem_pure_schedule().len()

@@ -23,7 +23,9 @@ pub mod simplify;
 pub mod stem;
 pub mod tree;
 
-pub use classify::{classify_nodes, NodeClass, NodeClassification, ProjectorMasks};
+pub use classify::{
+    classify_nodes, dependency_masks, ordinal_words, DependencyMasks, NodeClass, NodeClassification,
+};
 pub use cost::{log2_add, log2_sum, LogCost};
 pub use graph::TensorNetwork;
 pub use lifetime::{analyze_memory, BufferInterval, MemoryPlan, PhaseMemoryPlan};

@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn unsliced_chain_peak_is_exact() {
         let tree = chain4_tree();
-        let cls = classify_nodes(&tree, &[], &[]);
+        let cls = classify_nodes(&tree, &[], &[], &[]);
         let plan = analyze_memory(&tree, &cls, &[]);
 
         // Everything is Branch class; hand simulation (in amplitudes):
@@ -493,7 +493,7 @@ mod tests {
         let tree = chain4_tree();
         // Slice edge 0: leaves 0, 1 and all internals are Stem; leaves 2, 3
         // stay Branch (kept as stem seeds, no branch contractions).
-        let cls = classify_nodes(&tree, &[0], &[]);
+        let cls = classify_nodes(&tree, &[0], &[], &[]);
         let plan = analyze_memory(&tree, &cls, &[0]);
 
         // Branch phase: the two kept leaves, live from t0 to phase end.
@@ -515,7 +515,7 @@ mod tests {
     #[test]
     fn intervals_cover_first_and_last_use() {
         let tree = chain4_tree();
-        let cls = classify_nodes(&tree, &[], &[]);
+        let cls = classify_nodes(&tree, &[], &[], &[]);
         let plan = analyze_memory(&tree, &cls, &[]);
         let iv = |node: usize| {
             plan.branch.intervals().iter().find(|iv| iv.node == node).expect("interval missing")
@@ -547,7 +547,7 @@ mod tests {
     fn slot_count_equals_live_set_maximum_per_class() {
         let tree = chain4_tree();
         for sliced in [vec![], vec![0], vec![1], vec![2], vec![0, 2]] {
-            let cls = classify_nodes(&tree, &sliced, &[3]);
+            let cls = classify_nodes(&tree, &sliced, &[3], &[]);
             let plan = analyze_memory(&tree, &cls, &sliced);
             for phase in [&plan.branch, &plan.frontier, &plan.stem] {
                 let slots = phase.slot_count_by_rank();
@@ -570,7 +570,7 @@ mod tests {
         let tree = chain4_tree();
         // Leaf 3 overridable, no slicing: contractions 1,2 are Branch, the
         // root contraction is Frontier.
-        let cls = classify_nodes(&tree, &[], &[3]);
+        let cls = classify_nodes(&tree, &[], &[3], &[]);
         let plan = analyze_memory(&tree, &cls, &[]);
         assert_eq!(plan.branch.intervals().len(), 5); // leaves 0,1,2 + nodes 4,5
         assert_eq!(plan.frontier.intervals().len(), 2); // leaf 3 + root
@@ -586,7 +586,7 @@ mod tests {
         let tree = chain4_tree();
         // Slice edge 0 (leaves 0, 1), override leaf 3: classes are
         // 0,1,4,5 = StemPure; 2 = Branch; 3 = Frontier; 6 (root) = StemMixed.
-        let cls = classify_nodes(&tree, &[0], &[3]);
+        let cls = classify_nodes(&tree, &[0], &[3], &[]);
         let plan = analyze_memory(&tree, &cls, &[0]);
 
         // Hand simulation of one batched subtask (in bytes, rank r = 16·2^r;
@@ -620,7 +620,7 @@ mod tests {
         // StemPure; 2,3 = Frontier; 5,6 = StemMixed — a two-step mixed
         // suffix whose intermediate (node5) a per-bitstring replay would
         // consume, but the keyed suffix holds for in-place recomputes.
-        let cls = classify_nodes(&tree, &[0], &[2, 3]);
+        let cls = classify_nodes(&tree, &[0], &[2, 3], &[]);
         let plan = analyze_memory(&tree, &cls, &[0]);
 
         // Hand simulation (bytes; sliced ranks: leaf0 r0, leaf1 r1,
@@ -651,7 +651,7 @@ mod tests {
         let tree = chain4_tree();
         // Slicing without overridable leaves: the whole stem is StemPure and
         // the batched subtask is exactly one single-execution subtask.
-        let cls = classify_nodes(&tree, &[0], &[]);
+        let cls = classify_nodes(&tree, &[0], &[], &[]);
         let plan = analyze_memory(&tree, &cls, &[0]);
         assert_eq!(cls.stem_mixed_schedule().len(), 0);
         assert_eq!(plan.batched_stem.peak_bytes(), plan.stem.peak_bytes());
