@@ -62,12 +62,16 @@ fn bitstring(n: usize, k: u64) -> Vec<u8> {
     (0..n).map(|q| ((pattern >> (n - 1 - q)) & 1) as u8).collect()
 }
 
-/// Latencies (seconds) of completed requests plus shed/error counts.
+/// Latencies (seconds) of completed requests plus shed/error counts and
+/// the client-side fault-tolerance work (closed loop only — the open-loop
+/// generator pipelines raw frames).
 #[derive(Default)]
 struct RunOutcome {
     latencies: Vec<f64>,
     shed: u64,
     failed: u64,
+    client_reconnects: u64,
+    client_retries: u64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -125,6 +129,7 @@ impl Pipelined {
             request_id: id,
             circuit: circuit.clone(),
             bitstrings: vec![bits],
+            deadline_ms: None,
         })
         .write_to(&mut self.writer)
         .expect("send request");
@@ -154,7 +159,15 @@ fn closed_loop(addr: SocketAddr, circuit: &Circuit, clients: usize) -> (RunOutco
             .map(|_| {
                 let next_id = &next_id;
                 scope.spawn(move || {
-                    let mut client = qtnsim_serve::Client::connect(addr).expect("connect");
+                    // The retrying client is the production path; under a
+                    // fault-free server it adds no retries, and under a
+                    // `QTNSIM_FAULTS` chaos run the recorded reconnect and
+                    // retry counters price the recovery work.
+                    let mut client = qtnsim_serve::RetryingClient::connect(
+                        addr,
+                        qtnsim_serve::RetryConfig::default(),
+                    )
+                    .expect("connect");
                     let n = circuit.num_qubits();
                     let mut outcome = RunOutcome::default();
                     for _ in 0..CLOSED_REQUESTS_PER_CLIENT {
@@ -169,6 +182,9 @@ fn closed_loop(addr: SocketAddr, circuit: &Circuit, clients: usize) -> (RunOutco
                             qtnsim_serve::Reply::Error { .. } => outcome.failed += 1,
                         }
                     }
+                    let retry = client.retry_stats();
+                    outcome.client_reconnects = retry.reconnects;
+                    outcome.client_retries = retry.retries;
                     outcome
                 })
             })
@@ -181,6 +197,8 @@ fn closed_loop(addr: SocketAddr, circuit: &Circuit, clients: usize) -> (RunOutco
         merged.latencies.extend(o.latencies);
         merged.shed += o.shed;
         merged.failed += o.failed;
+        merged.client_reconnects += o.client_reconnects;
+        merged.client_retries += o.client_retries;
     }
     (merged, elapsed)
 }
@@ -240,7 +258,12 @@ fn record(
         .field_u64("batches_dispatched", snapshot.batches_dispatched)
         .field_f64("mean_batch_occupancy", snapshot.mean_batch_occupancy())
         .field_u64("deadline_flushes", snapshot.deadline_flushes)
-        .field_u64("size_flushes", snapshot.size_flushes);
+        .field_u64("size_flushes", snapshot.size_flushes)
+        .field_u64("requests_shed", snapshot.requests_shed)
+        .field_u64("deadline_sheds", snapshot.deadline_sheds)
+        .field_u64("panics_caught", snapshot.panics_caught)
+        .field_u64("client_reconnects", outcome.client_reconnects)
+        .field_u64("client_retries", outcome.client_retries);
     o.finish()
 }
 
@@ -319,7 +342,7 @@ fn main() {
         .field_raw("open_rates_hz", "[400, 1000, 2500]");
     let mut top = JsonObject::new();
     top.field_str("schema", "qtnsim-bench/serve")
-        .field_u64("version", 1)
+        .field_u64("version", 2)
         .field_raw("config", &config.finish())
         .field_raw("results", &array(records));
     let json = format!("{}\n", top.finish());

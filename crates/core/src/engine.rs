@@ -318,12 +318,11 @@ impl Engine {
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         let per_shard = capacity.max(1).div_ceil(self.state.shards.len()).max(1);
         for shard in &self.state.shards {
-            if let Ok(mut cache) = shard.lock() {
-                cache.capacity = per_shard;
-                let evicted = cache.entries.len().saturating_sub(per_shard);
-                cache.entries.truncate(per_shard);
-                self.state.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
-            }
+            let mut cache = crate::sync::lock_unpoisoned(shard);
+            cache.capacity = per_shard;
+            let evicted = cache.entries.len().saturating_sub(per_shard);
+            cache.entries.truncate(per_shard);
+            self.state.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
         }
         self
     }
@@ -342,7 +341,7 @@ impl Engine {
     pub fn with_cache_shards(mut self, shards: usize) -> Self {
         let shards = shards.max(1);
         let total_capacity: usize =
-            self.state.shards.iter().map(|s| s.lock().map(|c| c.capacity).unwrap_or(0)).sum();
+            self.state.shards.iter().map(|s| crate::sync::lock_unpoisoned(s).capacity).sum();
         let per_shard = total_capacity.max(1).div_ceil(shards).max(1);
         let next = EngineState::with_shards(shards, per_shard);
         next.plans_built.store(self.plans_built(), Ordering::Relaxed);
@@ -352,14 +351,12 @@ impl Engine {
             .store(self.state.cache_evictions.load(Ordering::Relaxed), Ordering::Relaxed);
         let mut evicted = 0;
         for shard in &self.state.shards {
-            if let Ok(cache) = shard.lock() {
-                // Iterate oldest-first so re-inserting preserves LRU order
-                // (insert places each entry at the front of its new shard).
-                for (key, plan) in cache.entries.iter().rev() {
-                    if let Ok(mut target) = next.shard(key.fingerprint).lock() {
-                        evicted += target.insert(key.clone(), Arc::clone(plan));
-                    }
-                }
+            let cache = crate::sync::lock_unpoisoned(shard);
+            // Iterate oldest-first so re-inserting preserves LRU order
+            // (insert places each entry at the front of its new shard).
+            for (key, plan) in cache.entries.iter().rev() {
+                let mut target = crate::sync::lock_unpoisoned(next.shard(key.fingerprint));
+                evicted += target.insert(key.clone(), Arc::clone(plan));
             }
         }
         next.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -472,12 +469,10 @@ impl Engine {
             shape: OutputShape::of(output),
         };
 
-        let cached = self
-            .state
-            .shard(key.fingerprint)
-            .lock()
-            .map_err(|_| Error::Internal("plan cache poisoned".into()))?
-            .get(&key);
+        // Poisoned shards recover (`lock_unpoisoned`): the LRU map stays
+        // consistent across an unwind, so a panic elsewhere must not wedge
+        // every later compile of circuits hashing into this shard.
+        let cached = crate::sync::lock_unpoisoned(self.state.shard(key.fingerprint)).get(&key);
         let (plan, cache_hit) = match cached {
             Some(plan) => {
                 self.state.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -487,11 +482,7 @@ impl Engine {
                 self.state.cache_misses.fetch_add(1, Ordering::Relaxed);
                 let plan = Arc::new(plan_simulation(circuit, output, &self.planner));
                 self.state.plans_built.fetch_add(1, Ordering::Relaxed);
-                let evicted = self
-                    .state
-                    .shard(key.fingerprint)
-                    .lock()
-                    .map_err(|_| Error::Internal("plan cache poisoned".into()))?
+                let evicted = crate::sync::lock_unpoisoned(self.state.shard(key.fingerprint))
                     .insert(key.clone(), Arc::clone(&plan));
                 self.state.cache_evictions.fetch_add(evicted, Ordering::Relaxed);
                 (plan, false)

@@ -72,6 +72,11 @@ pub enum Error {
     /// Sampling was requested from an amplitude tensor whose total
     /// probability mass is zero (every amplitude is exactly 0).
     ZeroAmplitudeDistribution,
+    /// An execution worker panicked and the panic was caught at the
+    /// execution boundary: only the affected execution fails, the worker
+    /// pool and any serving layer above keep running. Carries the panic
+    /// payload's message when it was a string.
+    ExecutionPanic(String),
     /// An internal invariant of the executor was violated. Seeing this is a
     /// bug in the planner/executor, not a user error.
     Internal(String),
@@ -114,8 +119,25 @@ impl std::fmt::Display for Error {
             Error::ZeroAmplitudeDistribution => {
                 write!(f, "cannot sample from an all-zero amplitude tensor")
             }
+            Error::ExecutionPanic(msg) => write!(f, "an execution worker panicked: {msg}"),
             Error::Internal(msg) => write!(f, "internal executor invariant violated: {msg}"),
         }
+    }
+}
+
+impl Error {
+    /// Convert a payload caught by `std::panic::catch_unwind` into a typed
+    /// [`Error::ExecutionPanic`], extracting the message when the payload
+    /// is the usual `&str` or `String`.
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Error {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Error::ExecutionPanic(msg)
     }
 }
 
@@ -158,12 +180,26 @@ mod tests {
             (Error::UnknownParamSlot { slot: 6, slots: 3 }, "slot 6"),
             (Error::NonFiniteParam { slot: 2 }, "non-finite"),
             (Error::ZeroAmplitudeDistribution, "all-zero"),
+            (Error::ExecutionPanic("index out of bounds".into()), "panicked"),
             (Error::Internal("oops".into()), "oops"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();
             assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn panic_payloads_convert_to_typed_errors() {
+        let caught = std::panic::catch_unwind(|| panic!("static str payload")).unwrap_err();
+        assert_eq!(Error::from_panic(caught), Error::ExecutionPanic("static str payload".into()));
+        let caught = std::panic::catch_unwind(|| panic!("formatted {} payload", 42)).unwrap_err();
+        assert_eq!(Error::from_panic(caught), Error::ExecutionPanic("formatted 42 payload".into()));
+        let caught = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(
+            Error::from_panic(caught),
+            Error::ExecutionPanic("non-string panic payload".into())
+        );
     }
 
     #[test]

@@ -63,8 +63,10 @@
 //! floating-point summation order never depends on thread scheduling.
 
 use crate::error::Error;
+use crate::fault::{self, FaultPoint};
 use crate::planner::SimulationPlan;
 use crate::pool::{BufferPool, PoolCounters};
+use crate::sync::lock_unpoisoned;
 use qtn_tensor::{
     contract_pair, Complex64, ContractionKernel, ContractionSpec, DenseTensor, GemmPath, IndexId,
     IndexSet,
@@ -931,6 +933,7 @@ fn run_subtask_stem_pooled(
 
     // Replay the stem schedule through the precompiled kernels.
     for step in &exec.steps {
+        fault_contraction_tick();
         let left_owned = slots[step.left].take();
         let right_owned = slots[step.right].take();
         let left = stem_operand_data(&left_owned, seeds, cache, step.left)?;
@@ -968,6 +971,17 @@ fn run_subtask_stem_pooled(
             .ok_or_else(|| Error::Internal("root index set missing from stem compile".into()))?,
     };
     Ok((DenseTensor::from_data(indices, buf), flops, pure_flops))
+}
+
+/// Chaos hook: the [`FaultPoint::WorkerPanic`] injection point, checked
+/// once per contraction step of every stem replay loop so a fault plan can
+/// panic a worker at exactly the Nth contraction. One relaxed atomic load
+/// when no plan is installed.
+#[inline]
+fn fault_contraction_tick() {
+    if fault::fire(FaultPoint::WorkerPanic) {
+        panic!("injected fault: worker panic at contraction step");
+    }
 }
 
 /// The plan's built branch cache (pooled replay runs strictly after
@@ -1013,10 +1027,10 @@ impl WorkerPool {
                 std::thread::spawn(move || loop {
                     // Take the next job while holding the lock, run it after
                     // releasing so other workers can dequeue concurrently.
-                    let job = match receiver.lock() {
-                        Ok(rx) => rx.recv(),
-                        Err(_) => break,
-                    };
+                    // The receiver stays usable even if a sibling worker
+                    // panicked while holding the lock (`recv` itself cannot
+                    // unwind, but the uniform policy costs nothing here).
+                    let job = lock_unpoisoned(&receiver).recv();
                     match job {
                         // A panicking job must not take the worker thread
                         // down with it — the pool is long-lived and shared.
@@ -1282,7 +1296,11 @@ pub fn execute_on_pool(
             let mut ws = stem_exec.as_ref().map(|_| {
                 StemWorkspace::new(plan.tree.nodes().len(), plan.stem_pools.checkout(worker))
             });
-            let outcome = (|| {
+            // A panicking subtask (injected or real) must fail only this
+            // execution, never the process: the unwind is caught at the
+            // job boundary and surfaces as a typed `ExecutionPanic`, and
+            // the workspace checkin below still runs.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut partial = DenseTensor::<Complex64>::zeros(output_indices);
                 let mut flops = 0u64;
                 let mut pure_flops = 0u64;
@@ -1324,7 +1342,8 @@ pub fn execute_on_pool(
                     assignment += workers;
                 }
                 Ok((partial, flops, pure_flops, gemm))
-            })();
+            }))
+            .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
             // Return the pool regardless of the outcome: buffers still
             // sitting in the slot table of a failed replay are drained
             // back first, so even an error leaves the free lists warm.
@@ -1352,7 +1371,7 @@ pub fn execute_on_pool(
     for _ in 0..workers {
         let (worker, outcome) = rx
             .recv()
-            .map_err(|_| Error::Internal("an execution job panicked or was dropped".into()))?;
+            .map_err(|_| Error::ExecutionPanic("an execution job was dropped unfinished".into()))?;
         partials[worker] = Some(outcome?);
     }
     let mut partials = partials.into_iter();
@@ -1884,6 +1903,7 @@ fn run_pure_prefix_pooled(
     }
 
     for step in exec.steps.iter().filter(|s| !s.mixed) {
+        fault_contraction_tick();
         // A StemPure contraction's operands are StemPure (owned by the slot
         // table and consumed here — a pure node consumed by a *mixed* step
         // never shows up as a pure-step operand) or Branch (borrowed from
@@ -1987,6 +2007,7 @@ fn run_mixed_suffix_keyed_pooled(
             skipped_flops += step.kernel.flops();
             continue;
         }
+        fault_contraction_tick();
         let mut out = slots[step.out]
             .take()
             .ok_or_else(|| Error::Internal(format!("mixed output buffer {} not held", step.out)))?;
@@ -2267,7 +2288,10 @@ pub fn execute_amplitudes_on_pool(
             let mut ws = stem_exec.as_ref().map(|_| {
                 StemWorkspace::new(plan.tree.nodes().len(), plan.stem_pools.checkout(worker))
             });
-            let outcome = (|| {
+            // Same panic containment as the single-amplitude sweep: a
+            // panicking batched subtask becomes a typed `ExecutionPanic`
+            // and the held buffers still drain back to the pool below.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let num_nodes = plan.tree.nodes().len();
                 let mut partials: Vec<DenseTensor<Complex64>> =
                     (0..batch).map(|_| DenseTensor::zeros(output_indices.clone())).collect();
@@ -2471,7 +2495,8 @@ pub fn execute_amplitudes_on_pool(
                     assignment += workers;
                 }
                 Ok((partials, flops, pure_flops, mixed, gemm))
-            })();
+            }))
+            .unwrap_or_else(|payload| Err(Error::from_panic(payload)));
             // Return the pool regardless of the outcome, draining any
             // buffers a failed replay left behind.
             let mut counters = PoolCounters::default();
@@ -2501,7 +2526,7 @@ pub fn execute_amplitudes_on_pool(
     for _ in 0..workers {
         let (worker, outcome) = rx
             .recv()
-            .map_err(|_| Error::Internal("an execution job panicked or was dropped".into()))?;
+            .map_err(|_| Error::ExecutionPanic("an execution job was dropped unfinished".into()))?;
         worker_partials[worker] = Some(outcome?);
     }
     let mut worker_partials = worker_partials.into_iter();
@@ -2782,6 +2807,7 @@ fn run_subtask_stem(
     // Replay the stem schedule, seeding slice-invariant operands from the
     // per-execution frontier seeds or the plan-lifetime branch cache.
     for &(l, r, out) in cls.stem_schedule() {
+        fault_contraction_tick();
         let a = stem_operand(&mut slots, seeds, cache, l)?;
         let b = stem_operand(&mut slots, seeds, cache, r)?;
         let spec = ContractionSpec::new(a.indices(), b.indices());

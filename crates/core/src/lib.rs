@@ -21,12 +21,14 @@
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod json;
 pub mod planner;
 pub mod pool;
 pub mod projection;
 pub mod sampling;
 pub mod simulator;
+pub mod sync;
 pub mod verify;
 
 pub use engine::{CacheStats, CompiledCircuit, Engine, ExecutionReport, OutputShape};
@@ -35,9 +37,11 @@ pub use executor::{
     execute_amplitudes_on_pool, execute_on_pool, execute_plan, try_execute_plan, BranchCache,
     ExecutionStats, ExecutorConfig, GemmTally, LeafOverrides, WorkerPool,
 };
+pub use fault::{FaultPlan, FaultPoint};
 pub use planner::{plan_simulation, PlannerConfig, SimulationPlan};
 pub use pool::{BufferPool, PoolCounters, SharedWorkerPools};
 pub use projection::{project_run, RunProjection};
 pub use sampling::sample_bitstrings;
 pub use simulator::Simulator;
+pub use sync::lock_unpoisoned;
 pub use verify::verify_against_statevector;

@@ -86,6 +86,11 @@ impl BufferPool {
     /// every consumer fully overwrites them ([`qtn_tensor::DenseTensor::slice_into`]
     /// and the contraction kernels write every element).
     pub fn acquire(&mut self, len: usize, counters: &mut PoolCounters) -> Vec<Complex64> {
+        // Chaos hook: a simulated allocation failure panics here and is
+        // caught at the execution boundary like any other worker panic.
+        if crate::fault::fire(crate::fault::FaultPoint::PoolAlloc) {
+            panic!("injected fault: buffer pool allocation failure ({len} elements)");
+        }
         let buf = match self.free.get_mut(&len).and_then(Vec::pop) {
             Some(buf) => {
                 counters.reused += 1;

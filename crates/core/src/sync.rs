@@ -1,0 +1,40 @@
+//! The crate-wide poisoned-lock policy.
+//!
+//! Every `Mutex` in the engine and the serving layer guards state that
+//! stays consistent under panic: LRU plan-cache maps, buffer-pool free
+//! lists, metric aggregates, and batch queues are all updated in place
+//! with no multi-step invariants that a mid-update unwind could tear.
+//! Poisoning therefore carries no information worth dying over — but a
+//! propagated `PoisonError` would turn one caught panic into a permanent
+//! wedge for every later request touching the same lock. [`lock_unpoisoned`]
+//! is the uniform recovery: take the guard, poisoned or not.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Lock a mutex, recovering the guard even if a previous holder panicked.
+///
+/// Use this instead of `.lock().unwrap()`/`.expect(..)` for any lock whose
+/// guarded state remains valid across an unwind (see the module docs) —
+/// one caught panic must never poison-wedge later requests.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_lock() {
+        let lock = Mutex::new(41);
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = lock.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(poison.is_err());
+        assert!(lock.is_poisoned());
+        *lock_unpoisoned(&lock) += 1;
+        assert_eq!(*lock_unpoisoned(&lock), 42);
+    }
+}

@@ -225,7 +225,7 @@ fn stats_endpoint_reports_service_and_engine_counters() {
     let json = client.stats().expect("stats");
     for key in [
         "\"schema\": \"qtnsim-serve/stats\"",
-        "\"version\": 2",
+        "\"version\": 3",
         "\"requests_completed\": 1",
         "\"batches_dispatched\": 1",
         "\"solo_flushes\": 1",

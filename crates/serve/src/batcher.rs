@@ -30,9 +30,9 @@
 //! "compile once, amortize across users" economy.
 
 use crate::protocol::ShedReason;
-use qtnsim_core::CompiledCircuit;
+use qtnsim_core::{lock_unpoisoned, CompiledCircuit};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for the micro-batcher (see the module docs).
@@ -58,6 +58,10 @@ impl Default for BatchConfig {
 /// delivers the outcome to the owning connection.
 pub(crate) struct BatchEntry {
     pub bitstrings: Vec<Vec<u8>>,
+    /// The request's own deadline (protocol v2), re-checked at dispatch:
+    /// an entry whose deadline passed while it was queued is shed instead
+    /// of executed. `None` never expires.
+    pub deadline: Option<Instant>,
     /// Called exactly once with the entry's outcome.
     pub complete: Box<dyn FnOnce(EntryOutcome) + Send>,
 }
@@ -68,6 +72,9 @@ pub(crate) enum EntryOutcome {
     Amplitudes { amplitudes: Vec<qtn_tensor::Complex64>, batch_size: u32, deadline_flush: bool },
     /// The engine rejected the batch (typed error, stringified).
     Failed(String),
+    /// The entry was shed *after* admission (its deadline passed in the
+    /// queue) — the post-admission half of the shed accounting.
+    Shed(ShedReason),
 }
 
 /// Why a ready batch left the queue.
@@ -145,7 +152,7 @@ impl Batcher {
         entry: BatchEntry,
     ) -> Result<(), ShedReason> {
         let amplitudes = entry.bitstrings.len();
-        let mut state = self.state.lock().expect("batcher lock");
+        let mut state = lock_unpoisoned(&self.state);
         if state.draining {
             return Err(ShedReason::Draining);
         }
@@ -185,7 +192,7 @@ impl Batcher {
     /// Block until a batch is ready and claim it. Returns `None` once the
     /// batcher is draining and empty — the dispatcher's exit signal.
     pub fn next_batch(&self) -> Option<ReadyBatch> {
-        let mut state = self.state.lock().expect("batcher lock");
+        let mut state = lock_unpoisoned(&self.state);
         // Solo dispatch only applies when coalescing is on at all; with a
         // zero deadline every batch is already immediately ready (and keeps
         // its `Deadline` cause, which the serve bench's unbatched baseline
@@ -222,12 +229,14 @@ impl Batcher {
                 // Nothing pending and no new work will be admitted.
                 return None;
             }
+            // Condvar waits recover from poisoning like every other lock
+            // here: the queue state stays consistent across an unwind.
             state = match state.pending.iter().map(|b| b.deadline).min() {
                 Some(deadline) => {
                     let wait = deadline.saturating_duration_since(now);
-                    self.ready.wait_timeout(state, wait).expect("batcher lock").0
+                    self.ready.wait_timeout(state, wait).unwrap_or_else(PoisonError::into_inner).0
                 }
-                None => self.ready.wait(state).expect("batcher lock"),
+                None => self.ready.wait(state).unwrap_or_else(PoisonError::into_inner),
             };
         }
     }
@@ -237,7 +246,7 @@ impl Batcher {
     /// lone open batch that was parked behind the in-flight execution
     /// becomes solo-ready the moment the engine frees up.
     pub fn finish_batch(&self) {
-        let mut state = self.state.lock().expect("batcher lock");
+        let mut state = lock_unpoisoned(&self.state);
         state.executing = state.executing.saturating_sub(1);
         self.ready.notify_all();
     }
@@ -245,7 +254,7 @@ impl Batcher {
     /// Stop admitting work and make every pending batch immediately ready;
     /// dispatchers drain the queue and then receive `None`.
     pub fn drain(&self) {
-        let mut state = self.state.lock().expect("batcher lock");
+        let mut state = lock_unpoisoned(&self.state);
         state.draining = true;
         self.ready.notify_all();
     }
@@ -253,7 +262,7 @@ impl Batcher {
     /// Amplitudes currently queued (for tests and introspection).
     #[cfg(test)]
     pub fn queued_amplitudes(&self) -> usize {
-        self.state.lock().expect("batcher lock").queued_amplitudes
+        lock_unpoisoned(&self.state).queued_amplitudes
     }
 }
 
@@ -278,6 +287,7 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         let entry = BatchEntry {
             bitstrings: vec![vec![0; n]; count],
+            deadline: None,
             complete: Box::new(move |outcome| {
                 let _ = tx.send(outcome);
             }),

@@ -21,7 +21,14 @@
 //!   response before the listener goes away;
 //! - **service metrics** ([`metrics`]): batching/shedding counters plus the
 //!   engine's aggregated [`qtnsim_core::ExecutionStats`] and plan-cache
-//!   stats, exported as JSON over a `StatsRequest` frame.
+//!   stats, exported as JSON over a `StatsRequest` frame;
+//! - **fault tolerance**: executor panics are caught at the dispatch
+//!   boundary and fail only the affected batch; protocol-v2 requests carry
+//!   per-request deadlines the server enforces at admission and dispatch;
+//!   [`RetryingClient`] reconnects and retries idempotent requests with
+//!   jittered exponential backoff; and the deterministic fault-injection
+//!   plan ([`qtnsim_core::fault`], env `QTNSIM_FAULTS`) drives the chaos
+//!   suite that proves all of it.
 //!
 //! Batched responses are **bit-identical** to single-shot
 //! [`qtnsim_core::CompiledCircuit::execute_amplitude`] calls — coalescing
@@ -55,7 +62,7 @@ pub mod protocol;
 pub mod server;
 
 pub use batcher::BatchConfig;
-pub use client::{Client, Reply};
+pub use client::{Client, Reply, RetryConfig, RetryStats, RetryingClient};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use protocol::{
     AmplitudeRequest, AmplitudeResponse, Frame, ProtocolError, ShedReason, MAX_FRAME_LEN,

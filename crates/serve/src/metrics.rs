@@ -18,6 +18,13 @@ pub struct ServiceMetrics {
     pub requests_shed: AtomicU64,
     /// Requests answered with an `Error` frame after admission.
     pub requests_failed: AtomicU64,
+    /// Executor panics caught at an isolation boundary (dispatch or frame
+    /// handling); each failed only the affected batch's requests while the
+    /// service kept serving.
+    pub panics_caught: AtomicU64,
+    /// Requests shed because their own (protocol v2) deadline passed — at
+    /// admission or while queued. Also counted in `requests_shed`.
+    pub deadline_sheds: AtomicU64,
     /// Amplitudes returned across all completed requests.
     pub amplitudes_served: AtomicU64,
     /// Micro-batches dispatched to the engine.
@@ -44,9 +51,7 @@ pub struct ServiceMetrics {
 impl ServiceMetrics {
     /// Fold one batch execution's stats into the running aggregate.
     pub fn absorb_execution(&self, stats: &ExecutionStats) {
-        if let Ok(mut agg) = self.execution.lock() {
-            agg.absorb(stats);
-        }
+        qtnsim_core::lock_unpoisoned(&self.execution).absorb(stats);
     }
 
     /// Capture a consistent point-in-time copy, pairing the service
@@ -58,6 +63,8 @@ impl ServiceMetrics {
             requests_completed: load(&self.requests_completed),
             requests_shed: load(&self.requests_shed),
             requests_failed: load(&self.requests_failed),
+            panics_caught: load(&self.panics_caught),
+            deadline_sheds: load(&self.deadline_sheds),
             amplitudes_served: load(&self.amplitudes_served),
             batches_dispatched: load(&self.batches_dispatched),
             batched_amplitudes: load(&self.batched_amplitudes),
@@ -68,7 +75,15 @@ impl ServiceMetrics {
             queue_micros: load(&self.queue_micros),
             plans_built: plans_built as u64,
             cache,
-            execution: self.execution.lock().map(|s| s.clone()).unwrap_or_default(),
+            execution: qtnsim_core::lock_unpoisoned(&self.execution).clone(),
+            faults: qtnsim_core::fault::installed()
+                .map(|plan| {
+                    plan.counts()
+                        .into_iter()
+                        .map(|(p, hits, fires)| (p.name(), hits, fires))
+                        .collect()
+                })
+                .unwrap_or_default(),
         }
     }
 }
@@ -87,6 +102,10 @@ pub struct MetricsSnapshot {
     pub requests_shed: u64,
     /// See [`ServiceMetrics::requests_failed`].
     pub requests_failed: u64,
+    /// See [`ServiceMetrics::panics_caught`].
+    pub panics_caught: u64,
+    /// See [`ServiceMetrics::deadline_sheds`].
+    pub deadline_sheds: u64,
     /// See [`ServiceMetrics::amplitudes_served`].
     pub amplitudes_served: u64,
     /// See [`ServiceMetrics::batches_dispatched`].
@@ -109,6 +128,9 @@ pub struct MetricsSnapshot {
     pub cache: CacheStats,
     /// Engine execution stats aggregated over every dispatched batch.
     pub execution: ExecutionStats,
+    /// Per-injection-point `(name, hits, fires)` counters of the installed
+    /// fault plan; empty when fault injection is off (the usual case).
+    pub faults: Vec<(&'static str, u64, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -126,11 +148,13 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut obj = qtnsim_core::json::JsonObject::new();
         obj.field_str("schema", "qtnsim-serve/stats")
-            .field_u64("version", 2)
+            .field_u64("version", 3)
             .field_u64("requests_accepted", self.requests_accepted)
             .field_u64("requests_completed", self.requests_completed)
             .field_u64("requests_shed", self.requests_shed)
             .field_u64("requests_failed", self.requests_failed)
+            .field_u64("panics_caught", self.panics_caught)
+            .field_u64("deadline_sheds", self.deadline_sheds)
             .field_u64("amplitudes_served", self.amplitudes_served)
             .field_u64("batches_dispatched", self.batches_dispatched)
             .field_u64("batched_amplitudes", self.batched_amplitudes)
@@ -143,6 +167,14 @@ impl MetricsSnapshot {
             .field_u64("plans_built", self.plans_built)
             .field_raw("plan_cache", &self.cache.to_json())
             .field_raw("execution", &self.execution.to_json());
+        if !self.faults.is_empty() {
+            let mut faults = qtnsim_core::json::JsonObject::new();
+            for (name, hits, fires) in &self.faults {
+                faults.field_u64(&format!("{name}_hits"), *hits);
+                faults.field_u64(&format!("{name}_fires"), *fires);
+            }
+            obj.field_raw("faults", &faults.finish());
+        }
         obj.finish()
     }
 }
@@ -168,7 +200,9 @@ mod tests {
             "\"plan_cache_hits\": 3",
             "\"flops\": 1234",
             "\"schema\": \"qtnsim-serve/stats\"",
-            "\"version\": 2",
+            "\"version\": 3",
+            "\"panics_caught\": 0",
+            "\"deadline_sheds\": 0",
             "\"solo_flushes\": 0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");

@@ -19,11 +19,20 @@
 //! |-----|-----------------|---------|
 //! | 1   | `Request`       | `u64 id`, circuit, `u32 count`, then per bitstring `u32 len` + `len` bit bytes |
 //! | 2   | `Response`      | `u64 id`, `u32 count`, `count × (f64 re, f64 im)`, `u32 batch_size`, `u8 flags` (bit 0: deadline flush) |
-//! | 3   | `Shed`          | `u64 id`, `u8 reason` (1 queue full, 2 memory budget, 3 draining) |
+//! | 3   | `Shed`          | `u64 id`, `u8 reason` (1 queue full, 2 memory budget, 3 draining, 4 deadline exceeded) |
 //! | 4   | `Error`         | `u64 id`, `u32 len`, UTF-8 message |
 //! | 5   | `StatsRequest`  | empty |
 //! | 6   | `StatsResponse` | `u32 len`, UTF-8 JSON |
 //! | 7   | `Shutdown`      | empty |
+//! | 8   | `Request` (v2)  | `u64 id`, `u32 deadline_ms`, then the tag-1 payload from the circuit onward |
+//!
+//! Tag 8 is the **protocol v2** request: identical to tag 1 plus a
+//! per-request deadline in milliseconds from server receipt, after which
+//! the server sheds the request (`Shed` reason 4) instead of executing it.
+//! v2 is strictly additive and backward compatible both ways: a request
+//! without a deadline still encodes as a byte-identical tag-1 frame, v1
+//! clients never see reason 4 (they cannot set deadlines), and a v2 server
+//! answers v1 and v2 clients on the same socket.
 //!
 //! All integers and floats are little-endian. A circuit is encoded as
 //! `u32 num_qubits`, `u32 num_ops`, then per op `u8 arity`,
@@ -53,6 +62,8 @@ mod tag {
     pub const STATS_REQUEST: u8 = 5;
     pub const STATS_RESPONSE: u8 = 6;
     pub const SHUTDOWN: u8 = 7;
+    /// Protocol v2: a request carrying a deadline (tag 1 stays deadline-free).
+    pub const REQUEST_V2: u8 = 8;
 }
 
 /// Upper bound on a frame's payload length. Frames announcing more are
@@ -132,6 +143,10 @@ pub enum ShedReason {
     MemoryBudget,
     /// The server is draining for shutdown and accepts no new work.
     Draining,
+    /// The request's own deadline (protocol v2) passed before execution —
+    /// at admission or while queued — so running it would waste the engine
+    /// on an answer nobody is waiting for. Not worth retrying as-is.
+    DeadlineExceeded,
 }
 
 impl ShedReason {
@@ -140,6 +155,7 @@ impl ShedReason {
             ShedReason::QueueFull => 1,
             ShedReason::MemoryBudget => 2,
             ShedReason::Draining => 3,
+            ShedReason::DeadlineExceeded => 4,
         }
     }
 
@@ -148,8 +164,16 @@ impl ShedReason {
             1 => Ok(ShedReason::QueueFull),
             2 => Ok(ShedReason::MemoryBudget),
             3 => Ok(ShedReason::Draining),
+            4 => Ok(ShedReason::DeadlineExceeded),
             _ => Err(ProtocolError::Malformed("unknown shed reason")),
         }
+    }
+
+    /// Whether a shed of this kind is worth retrying unchanged: queue-full
+    /// and draining sheds are transient server state, while memory-budget
+    /// and deadline sheds are deterministic verdicts on the request itself.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ShedReason::QueueFull | ShedReason::Draining)
     }
 }
 
@@ -162,6 +186,11 @@ pub struct AmplitudeRequest {
     pub circuit: Circuit,
     /// Bitstrings, each `circuit.num_qubits()` bytes of 0/1.
     pub bitstrings: Vec<Vec<u8>>,
+    /// Optional deadline in milliseconds from server receipt (protocol
+    /// v2). `None` encodes as a byte-identical v1 frame; `Some` encodes as
+    /// tag 8 and lets the server shed the request
+    /// ([`ShedReason::DeadlineExceeded`]) once it is stale.
+    pub deadline_ms: Option<u32>,
 }
 
 /// The amplitudes for one request, plus micro-batching telemetry.
@@ -244,7 +273,10 @@ pub fn encode_circuit(circuit: &Circuit, buf: &mut Vec<u8>) {
 impl Frame {
     fn tag(&self) -> u8 {
         match self {
-            Frame::Request(_) => tag::REQUEST,
+            // Deadline-free requests stay v1 on the wire so pre-v2 servers
+            // (and byte-level golden tests) see identical frames.
+            Frame::Request(req) if req.deadline_ms.is_none() => tag::REQUEST,
+            Frame::Request(_) => tag::REQUEST_V2,
             Frame::Response(_) => tag::RESPONSE,
             Frame::Shed { .. } => tag::SHED,
             Frame::Error { .. } => tag::ERROR,
@@ -259,6 +291,9 @@ impl Frame {
         match self {
             Frame::Request(req) => {
                 put_u64(buf, req.request_id);
+                if let Some(deadline_ms) = req.deadline_ms {
+                    put_u32(buf, deadline_ms);
+                }
                 encode_circuit(&req.circuit, buf);
                 put_u32(buf, req.bitstrings.len() as u32);
                 for bits in &req.bitstrings {
@@ -331,8 +366,10 @@ impl Frame {
     pub fn decode(tag_byte: u8, payload: &[u8]) -> Result<Frame, ProtocolError> {
         let mut r = Reader { bytes: payload, pos: 0 };
         let frame = match tag_byte {
-            tag::REQUEST => {
+            tag::REQUEST | tag::REQUEST_V2 => {
                 let request_id = r.take_u64()?;
+                let deadline_ms =
+                    if tag_byte == tag::REQUEST_V2 { Some(r.take_u32()?) } else { None };
                 let circuit = decode_circuit(&mut r)?;
                 let count = r.take_u32()? as usize;
                 let mut bitstrings = Vec::new();
@@ -345,7 +382,7 @@ impl Frame {
                     }
                     bitstrings.push(r.take_bytes(len, "bitstring bytes")?.to_vec());
                 }
-                Frame::Request(AmplitudeRequest { request_id, circuit, bitstrings })
+                Frame::Request(AmplitudeRequest { request_id, circuit, bitstrings, deadline_ms })
             }
             tag::RESPONSE => {
                 let request_id = r.take_u64()?;
@@ -543,6 +580,7 @@ mod tests {
             request_id: 7,
             circuit: circuit.clone(),
             bitstrings: vec![vec![0, 0], vec![1, 1]],
+            deadline_ms: None,
         })
         .encode();
         let decoded = read_frame_or_eof(&mut &bytes[..]).expect("decode").expect("some");
@@ -559,6 +597,7 @@ mod tests {
         roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::QueueFull });
         roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::MemoryBudget });
         roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::Draining });
+        roundtrip(Frame::Shed { request_id: 9, reason: ShedReason::DeadlineExceeded });
         roundtrip(Frame::Error { request_id: 3, message: "no \"such\" circuit".into() });
         roundtrip(Frame::StatsRequest);
         roundtrip(Frame::StatsResponse("{\"ok\": true}".into()));
@@ -574,6 +613,7 @@ mod tests {
             request_id: 1,
             circuit: circuit.clone(),
             bitstrings: vec![vec![0; circuit.num_qubits()]],
+            deadline_ms: None,
         });
         let bytes = frame.encode();
         let Some(Frame::Request(decoded)) = read_frame_or_eof(&mut &bytes[..]).unwrap() else {
@@ -586,21 +626,92 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_typed_errors_not_panics() {
-        let mut circuit = Circuit::new(1);
-        circuit.push1(Gate::H, 0);
-        let bytes =
-            Frame::Request(AmplitudeRequest { request_id: 1, circuit, bitstrings: vec![vec![0]] })
-                .encode();
-        // Clean EOF at a frame boundary is None, not an error.
-        assert!(matches!(read_frame_or_eof(&mut &bytes[..0]), Ok(None)));
-        // Every proper prefix must fail with a typed error.
-        for cut in 1..bytes.len() {
-            let err = read_frame_or_eof(&mut &bytes[..cut]).expect_err("prefix must fail");
-            assert!(
-                matches!(err, ProtocolError::Io(_) | ProtocolError::Malformed(_)),
-                "cut at {cut} gave {err:?}"
-            );
+        // Both request encodings: v1 (no deadline) and v2 (deadline field).
+        for deadline_ms in [None, Some(250)] {
+            let mut circuit = Circuit::new(1);
+            circuit.push1(Gate::H, 0);
+            let bytes = Frame::Request(AmplitudeRequest {
+                request_id: 1,
+                circuit,
+                bitstrings: vec![vec![0]],
+                deadline_ms,
+            })
+            .encode();
+            // Clean EOF at a frame boundary is None, not an error.
+            assert!(matches!(read_frame_or_eof(&mut &bytes[..0]), Ok(None)));
+            // Every proper prefix must fail with a typed error.
+            for cut in 1..bytes.len() {
+                let err = read_frame_or_eof(&mut &bytes[..cut]).expect_err("prefix must fail");
+                assert!(
+                    matches!(err, ProtocolError::Io(_) | ProtocolError::Malformed(_)),
+                    "deadline {deadline_ms:?}, cut at {cut} gave {err:?}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn v2_requests_roundtrip_with_their_deadline() {
+        // Like circuits everywhere, equality after the wire is
+        // fingerprint-equality (named gates travel as raw unitaries).
+        let circuit = RqcConfig::small(2, 3, 6, 5).build();
+        let bytes = Frame::Request(AmplitudeRequest {
+            request_id: 42,
+            circuit: circuit.clone(),
+            bitstrings: vec![vec![0; circuit.num_qubits()]],
+            deadline_ms: Some(1500),
+        })
+        .encode();
+        let Some(Frame::Request(req)) = read_frame_or_eof(&mut &bytes[..]).unwrap() else {
+            panic!("expected a request frame");
+        };
+        assert_eq!(req.request_id, 42);
+        assert_eq!(req.deadline_ms, Some(1500));
+        assert_eq!(req.circuit.fingerprint(), circuit.fingerprint());
+    }
+
+    #[test]
+    fn deadline_free_requests_stay_byte_identical_to_v1() {
+        // The v1↔v2 interop contract: a request without a deadline encodes
+        // as the *exact* frame a v1 client produces — tag 1, no deadline
+        // field — so pre-v2 peers interoperate byte for byte.
+        let circuit = RqcConfig::small(2, 3, 6, 9).build();
+        let request = |deadline_ms| {
+            Frame::Request(AmplitudeRequest {
+                request_id: 3,
+                circuit: circuit.clone(),
+                bitstrings: vec![vec![1; circuit.num_qubits()]],
+                deadline_ms,
+            })
+        };
+        let v1_bytes = request(None).encode();
+        assert_eq!(v1_bytes[4], super::tag::REQUEST, "deadline-free requests must use tag 1");
+        // Hand-build the v1 frame a pre-v2 client would send.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 3);
+        encode_circuit(&circuit, &mut payload);
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, circuit.num_qubits() as u32);
+        payload.extend_from_slice(&vec![1; circuit.num_qubits()]);
+        let mut expected = Vec::new();
+        put_u32(&mut expected, payload.len() as u32);
+        expected.push(super::tag::REQUEST);
+        expected.extend_from_slice(&payload);
+        assert_eq!(v1_bytes, expected, "v1 wire format must be unchanged");
+        // A v2 server decodes that hand-built v1 frame with no deadline.
+        let Some(Frame::Request(decoded)) = read_frame_or_eof(&mut &expected[..]).unwrap() else {
+            panic!("expected a request frame");
+        };
+        assert_eq!(decoded.deadline_ms, None);
+        assert_eq!(decoded.circuit.fingerprint(), circuit.fingerprint());
+        // And the v2 encoding is the same bytes with tag 8 plus the
+        // deadline spliced in after the id — nothing else moves.
+        let v2_bytes = request(Some(7)).encode();
+        assert_eq!(v2_bytes[4], super::tag::REQUEST_V2);
+        assert_eq!(v2_bytes.len(), v1_bytes.len() + 4);
+        assert_eq!(&v2_bytes[5..13], &v1_bytes[5..13], "request id unchanged");
+        assert_eq!(&v2_bytes[13..17], &7u32.to_le_bytes(), "deadline after the id");
+        assert_eq!(&v2_bytes[17..], &v1_bytes[13..], "tail identical to v1");
     }
 
     #[test]

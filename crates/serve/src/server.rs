@@ -29,14 +29,16 @@
 
 use crate::batcher::{BatchConfig, BatchEntry, Batcher, EntryOutcome, FlushCause};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
-use crate::protocol::{read_frame_or_eof, AmplitudeResponse, Frame, ShedReason};
+use crate::protocol::{read_frame_or_eof, AmplitudeResponse, Frame, ProtocolError, ShedReason};
 use qtn_circuit::OutputSpec;
-use qtnsim_core::{Engine, Error as EngineError, ExecutorConfig, PlannerConfig};
+use qtnsim_core::fault::{self, FaultPoint};
+use qtnsim_core::{lock_unpoisoned, Engine, Error as EngineError, ExecutorConfig, PlannerConfig};
 use std::io::BufReader;
 use std::net::{Shutdown as SocketShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Full service configuration: engine knobs plus batching/admission knobs.
 #[derive(Debug, Clone)]
@@ -174,15 +176,10 @@ impl Server {
         // Now close the read half of every connection: blocked readers see
         // EOF, drop their writer senders, and the writers flush out any
         // remaining queued responses before exiting.
-        if let Ok(conns) = self.shared.conns.lock() {
-            for conn in conns.iter() {
-                let _ = conn.shutdown(SocketShutdown::Read);
-            }
+        for conn in lock_unpoisoned(&self.shared.conns).iter() {
+            let _ = conn.shutdown(SocketShutdown::Read);
         }
-        let threads = match self.shared.conn_threads.lock() {
-            Ok(mut t) => std::mem::take(&mut *t),
-            Err(_) => Vec::new(),
-        };
+        let threads = std::mem::take(&mut *lock_unpoisoned(&self.shared.conn_threads));
         for t in threads {
             let _ = t.join();
         }
@@ -202,14 +199,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             Ok(clone) => clone,
             Err(_) => continue,
         };
-        if let Ok(mut conns) = shared.conns.lock() {
-            conns.push(read_half);
-        }
+        lock_unpoisoned(&shared.conns).push(read_half);
         let shared_conn = Arc::clone(&shared);
         let handle = std::thread::spawn(move || connection_loop(stream, shared_conn));
-        if let Ok(mut threads) = shared.conn_threads.lock() {
-            threads.push(handle);
-        }
+        lock_unpoisoned(&shared.conn_threads).push(handle);
     }
 }
 
@@ -224,24 +217,55 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     let (tx, rx) = mpsc::channel::<Frame>();
     let writer = std::thread::spawn(move || {
         let mut stream = writer_stream;
+        // A failed write may have left a torn frame on the wire; any frame
+        // written after it would be parsed mid-payload and desynchronize the
+        // client. Once desynced, shut the write half down immediately (the
+        // client sees EOF instead of garbage) but keep draining the channel
+        // so dispatchers finishing this connection's batches never observe
+        // a dropped receiver mid-send.
+        let mut desynced = false;
         while let Ok(frame) = rx.recv() {
-            if frame.write_to(&mut stream).is_err() {
-                // Client went away; drain the channel so senders never block
-                // (they don't — mpsc is unbounded — but exiting early would
-                // drop queued frames on the floor anyway).
-                break;
+            if desynced {
+                continue;
+            }
+            if write_frame_faulted(&frame, &mut stream).is_err() {
+                desynced = true;
+                let _ = stream.shutdown(SocketShutdown::Write);
             }
         }
-        let _ = stream.shutdown(SocketShutdown::Write);
+        if !desynced {
+            let _ = stream.shutdown(SocketShutdown::Write);
+        }
     });
 
     let mut reader = BufReader::new(stream);
     loop {
-        match read_frame_or_eof(&mut reader) {
+        let read = if fault::fire(FaultPoint::ReadIo) {
+            Err(ProtocolError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected fault: read I/O error",
+            )))
+        } else {
+            read_frame_or_eof(&mut reader)
+        };
+        match read {
             Ok(None) => break,
             Ok(Some(frame)) => {
-                if !handle_frame(frame, &tx, &shared) {
-                    break;
+                let arrival = Instant::now();
+                // Isolate frame handling: a panic (e.g. an injected pool
+                // failure during compile) fails this frame with a typed
+                // error and keeps the connection and service alive.
+                let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_frame(frame, arrival, &tx, &shared)
+                }));
+                match handled {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(payload) => {
+                        shared.metrics.panics_caught.fetch_add(1, Ordering::Relaxed);
+                        let err = EngineError::from_panic(payload);
+                        let _ = tx.send(Frame::Error { request_id: 0, message: err.to_string() });
+                    }
                 }
             }
             Err(err) => {
@@ -256,11 +280,46 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
     let _ = writer.join();
 }
 
+/// Write one frame, honouring the write-side fault injection points. The
+/// `PartialFrame` fault flushes a torn prefix of the encoded frame and then
+/// fails — exactly the half-written state a mid-write crash leaves behind —
+/// so the writer's desync handling is exercised end to end.
+fn write_frame_faulted(frame: &Frame, stream: &mut TcpStream) -> Result<(), ProtocolError> {
+    if fault::fire(FaultPoint::SlowWrite) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if fault::fire(FaultPoint::WriteIo) {
+        return Err(ProtocolError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "injected fault: write I/O error",
+        )));
+    }
+    if fault::fire(FaultPoint::PartialFrame) {
+        use std::io::Write;
+        let encoded = frame.encode();
+        stream.write_all(&encoded[..encoded.len() / 2])?;
+        stream.flush()?;
+        return Err(ProtocolError::Io(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "injected fault: partial frame",
+        )));
+    }
+    frame.write_to(stream)
+}
+
 /// Process one inbound frame; returns false when the connection should end.
-fn handle_frame(frame: Frame, tx: &mpsc::Sender<Frame>, shared: &Arc<Shared>) -> bool {
+/// `arrival` is when the frame finished reading — protocol-v2 deadlines
+/// count from it.
+fn handle_frame(
+    frame: Frame,
+    arrival: Instant,
+    tx: &mpsc::Sender<Frame>,
+    shared: &Arc<Shared>,
+) -> bool {
     match frame {
         Frame::Request(req) => {
             let request_id = req.request_id;
+            let deadline = req.deadline_ms.map(|ms| arrival + Duration::from_millis(u64::from(ms)));
             let n = req.circuit.num_qubits();
             let spec = OutputSpec::Amplitude(vec![0; n]);
             let compiled = match shared.engine.compile(&req.circuit, &spec) {
@@ -276,6 +335,15 @@ fn handle_frame(frame: Frame, tx: &mpsc::Sender<Frame>, shared: &Arc<Shared>) ->
                     return true;
                 }
             };
+            // Admission-time deadline check: a request whose budget was
+            // already spent reading and compiling is shed here instead of
+            // occupying queue space it can never use.
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                let _ = tx.send(Frame::Shed { request_id, reason: ShedReason::DeadlineExceeded });
+                return true;
+            }
             // Validate bitstrings before admission so malformed requests
             // are typed errors, not batch poison that fails innocents
             // coalesced alongside them.
@@ -304,6 +372,7 @@ fn handle_frame(frame: Frame, tx: &mpsc::Sender<Frame>, shared: &Arc<Shared>) ->
             let metrics_shared = Arc::clone(shared);
             let entry = BatchEntry {
                 bitstrings: req.bitstrings,
+                deadline,
                 complete: Box::new(move |outcome| {
                     let frame = match outcome {
                         EntryOutcome::Amplitudes { amplitudes, batch_size, deadline_flush } => {
@@ -321,6 +390,14 @@ fn handle_frame(frame: Frame, tx: &mpsc::Sender<Frame>, shared: &Arc<Shared>) ->
                         EntryOutcome::Failed(message) => {
                             metrics_shared.metrics.requests_failed.fetch_add(1, Ordering::Relaxed);
                             Frame::Error { request_id, message }
+                        }
+                        EntryOutcome::Shed(reason) => {
+                            let m = &metrics_shared.metrics;
+                            m.requests_shed.fetch_add(1, Ordering::Relaxed);
+                            if reason == ShedReason::DeadlineExceeded {
+                                m.deadline_sheds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Frame::Shed { request_id, reason }
                         }
                     };
                     let _ = reply.send(frame);
@@ -374,9 +451,30 @@ fn dispatch_loop(shared: Arc<Shared>) {
             FlushCause::Drain => m.drain_flushes.fetch_add(1, Ordering::Relaxed),
         };
 
+        // Requests whose own deadline passed while coalescing are shed now,
+        // before the engine runs: executing them would spend contraction
+        // work on answers the client has already given up on.
+        let now = Instant::now();
+        let (live, expired): (Vec<BatchEntry>, Vec<BatchEntry>) =
+            batch.entries.into_iter().partition(|e| e.deadline.is_none_or(|d| now < d));
+        for entry in expired {
+            (entry.complete)(EntryOutcome::Shed(ShedReason::DeadlineExceeded));
+        }
+        if live.is_empty() {
+            shared.batcher.finish_batch();
+            continue;
+        }
+
         let all_bits: Vec<&[u8]> =
-            batch.entries.iter().flat_map(|e| e.bitstrings.iter().map(Vec::as_slice)).collect();
-        let executed = batch.compiled.execute_amplitudes(&all_bits);
+            live.iter().flat_map(|e| e.bitstrings.iter().map(Vec::as_slice)).collect();
+        let batch_size = all_bits.len() as u32;
+        // Isolate the engine: a worker panic (injected or genuine) becomes
+        // a typed error that fails only this batch's requests; the
+        // dispatcher thread and every other batch keep going.
+        let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            batch.compiled.execute_amplitudes(&all_bits)
+        }))
+        .unwrap_or_else(|payload| Err(EngineError::from_panic(payload)));
         // Tell the batcher the engine is free *before* delivering responses:
         // a lone batch that opened during this execution becomes solo-ready
         // without waiting on slow client writers.
@@ -385,9 +483,8 @@ fn dispatch_loop(shared: Arc<Shared>) {
             Ok((amplitudes, report)) => {
                 m.absorb_execution(&report.stats);
                 let deadline_flush = batch.cause == FlushCause::Deadline;
-                let batch_size = batch.amplitudes as u32;
                 let mut offset = 0;
-                for entry in batch.entries {
+                for entry in live {
                     let take = entry.bitstrings.len();
                     let slice = amplitudes[offset..offset + take].to_vec();
                     offset += take;
@@ -399,8 +496,11 @@ fn dispatch_loop(shared: Arc<Shared>) {
                 }
             }
             Err(err) => {
+                if matches!(err, EngineError::ExecutionPanic(_)) {
+                    m.panics_caught.fetch_add(1, Ordering::Relaxed);
+                }
                 let message = err.to_string();
-                for entry in batch.entries {
+                for entry in live {
                     (entry.complete)(EntryOutcome::Failed(message.clone()));
                 }
             }
